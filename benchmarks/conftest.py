@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper by calling the
+corresponding ``repro.experiments`` driver with a scaled-down configuration
+(override with the environment variables below) and printing the rows/series it
+produces, so running ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+whole evaluation section at laptop scale.
+
+Environment variables:
+
+* ``REPRO_BENCH_RUNS`` — number of runs per configuration (default 3).
+* ``REPRO_BENCH_HORIZON`` — horizon in slots for static experiments
+  (default 600; dynamic/trace experiments keep their natural horizons).
+* ``REPRO_BENCH_PAPER=1`` — use the full paper-scale configuration (slow).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+def bench_config(
+    default_runs: int = 3, default_horizon: int | None = 600
+) -> ExperimentConfig:
+    """Build the benchmark configuration from environment overrides."""
+    if os.environ.get("REPRO_BENCH_PAPER") == "1":
+        return ExperimentConfig.paper()
+    runs = int(os.environ.get("REPRO_BENCH_RUNS", default_runs))
+    horizon_env = os.environ.get("REPRO_BENCH_HORIZON")
+    if horizon_env is not None:
+        horizon: int | None = int(horizon_env)
+    else:
+        horizon = default_horizon
+    return ExperimentConfig(runs=runs, horizon_slots=horizon)
+
+
+def report(title: str, payload) -> None:
+    """Print an experiment's output under a recognisable header."""
+    print(f"\n=== {title} ===")
+    if isinstance(payload, str):
+        print(payload)
+    else:
+        print(json.dumps(payload, indent=2, default=str))
+
+
+@pytest.fixture
+def quick_config() -> ExperimentConfig:
+    return bench_config()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Dynamic campus scenario: crowds arriving, leaving and moving between areas.
+
+Reproduces, at example scale, the three dynamic settings of Section VI-A:
+
+1. a lecture lets out and 9 extra devices join the service area for 100 minutes
+   (Fig. 7),
+2. most devices leave and the stragglers must rediscover the freed bandwidth
+   (Fig. 8),
+3. students walk from the food court to the study area to the bus stop while
+   running Smart EXP3 (Fig. 9).
+
+Run with:  python examples/dynamic_campus.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.distance import distance_to_nash_series
+from repro.sim.runner import run_simulation
+from repro.sim.scenario import (
+    dynamic_join_leave_scenario,
+    dynamic_leave_scenario,
+    mobility_scenario,
+)
+
+
+def phase_means(series: np.ndarray, edges: list[int]) -> list[float]:
+    bounds = [0, *edges, len(series)]
+    return [float(np.mean(series[a:b])) for a, b in zip(bounds[:-1], bounds[1:])]
+
+
+def main() -> None:
+    print("1) Nine devices join at t=401 and leave after t=800 (Fig. 7)")
+    for policy in ("smart_exp3", "greedy"):
+        result = run_simulation(dynamic_join_leave_scenario(policy=policy), seed=0)
+        before, during, after = phase_means(distance_to_nash_series(result), [400, 800])
+        print(f"   {policy:>12}: distance to equilibrium "
+              f"before={before:.1f} %  during={during:.1f} %  after={after:.1f} %")
+
+    print("\n2) Sixteen devices leave after t=600, freeing resources (Fig. 8)")
+    print("   (averaged over 3 runs; a lower end-of-run distance means the")
+    print("    remaining devices discovered the freed bandwidth)")
+    for policy in ("smart_exp3", "smart_exp3_no_reset", "greedy"):
+        series = np.mean(
+            [
+                distance_to_nash_series(run_simulation(dynamic_leave_scenario(policy=policy), seed=seed))
+                for seed in range(3)
+            ],
+            axis=0,
+        )
+        before, transition, end = phase_means(series, [600, 900])
+        print(f"   {policy:>20}: before={before:.1f} %  transition={transition:.1f} %  "
+              f"end of run={end:.1f} %")
+
+    print("\n3) Eight devices walk across three service areas (Fig. 9)")
+    scenario = mobility_scenario(policy="smart_exp3")
+    result = run_simulation(scenario, seed=0)
+    for group in scenario.device_groups:
+        switches = result.mean_switches_per_device(group.device_ids)
+        download = np.mean([result.download_mb(d) for d in group.device_ids])
+        print(f"   {group.name:>20}: {switches:5.1f} switches/device, "
+              f"{download:7.1f} MB downloaded/device")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The [project] metadata lives in pyproject.toml; this file exists so that the
+legacy editable-install path (``pip install -e .`` without the ``wheel``
+package available) keeps working in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Network-selection policies: EXP3 and all comparison algorithms.
+
+Every algorithm of Tables II and III of the paper is available here behind the
+common :class:`repro.algorithms.base.Policy` interface, plus the registry that
+resolves the policy names used by scenarios:
+
+* ``exp3`` — classic EXP3 (Auer et al., 2002), per-slot selection.
+* ``block_exp3`` — EXP3 with adaptive blocking only.
+* ``hybrid_block_exp3`` — Block EXP3 plus Smart EXP3's exploration/greedy policy.
+* ``smart_exp3_no_reset`` — Smart EXP3 without the reset mechanism.
+* ``smart_exp3`` — the full algorithm (lives in :mod:`repro.core`).
+* ``greedy`` — explore once, then always pick the highest average gain.
+* ``full_information`` — Hedge-style multiplicative weights with full feedback.
+* ``centralized`` — maintains the optimal (Nash equilibrium) allocation.
+* ``fixed_random`` — picks a random network once and stays.
+"""
+
+from repro.algorithms.base import Observation, Policy, PolicyContext
+from repro.algorithms.block_exp3 import BlockEXP3Policy, HybridBlockEXP3Policy
+from repro.algorithms.centralized import CentralizedPolicy
+from repro.algorithms.exp3 import EXP3Policy
+from repro.algorithms.fixed_random import FixedRandomPolicy
+from repro.algorithms.full_information import FullInformationPolicy
+from repro.algorithms.greedy import GreedyPolicy
+from repro.algorithms.registry import available_policies, create_policy, register_policy
+
+__all__ = [
+    "BlockEXP3Policy",
+    "CentralizedPolicy",
+    "EXP3Policy",
+    "FixedRandomPolicy",
+    "FullInformationPolicy",
+    "GreedyPolicy",
+    "HybridBlockEXP3Policy",
+    "Observation",
+    "Policy",
+    "PolicyContext",
+    "available_policies",
+    "create_policy",
+    "register_policy",
+]

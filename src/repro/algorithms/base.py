@@ -1,0 +1,150 @@
+"""Common interface shared by every network-selection policy.
+
+The simulator drives each device's policy with two calls per slot:
+
+1. ``begin_slot(slot)`` — the policy returns the network id it associates with
+   for this slot (the policy manages any block structure internally).
+2. ``end_slot(slot, observation)`` — the policy receives the bit rate / gain it
+   observed, whether the association required a network switch, the switching
+   delay charged, and (for full-information policies) counterfactual gains.
+
+Dynamic scenarios additionally call ``update_available_networks`` whenever the
+device's visible network set changes (coverage change, networks appearing or
+disappearing).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Feedback given to a policy at the end of a slot.
+
+    Attributes
+    ----------
+    slot:
+        1-based slot index.
+    network_id:
+        Network the device was associated with during the slot.
+    bit_rate_mbps:
+        Raw observed bit rate.
+    gain:
+        Bit rate scaled to ``[0, 1]`` (the bandit reward).
+    switched:
+        Whether associating required a network switch at the start of the slot.
+    delay_s:
+        Switching delay charged in this slot (0 when not switching).
+    full_feedback:
+        Optional counterfactual scaled gains for every available network
+        (only provided to policies with ``needs_full_feedback = True``).
+    """
+
+    slot: int
+    network_id: int
+    bit_rate_mbps: float
+    gain: float
+    switched: bool
+    delay_s: float
+    full_feedback: Mapping[int, float] | None = None
+
+
+@dataclass
+class PolicyContext:
+    """Static information handed to a policy at construction time.
+
+    Attributes
+    ----------
+    network_ids:
+        Networks initially available to the device.
+    rng:
+        Per-device random generator (owned by the policy).
+    slot_duration_s:
+        Length of a time slot in seconds.
+    network_bandwidths:
+        Nominal bandwidths, only for policies that legitimately use global
+        knowledge (Centralized); decentralised policies must ignore it.
+    device_index / num_devices:
+        Rank of the device among devices sharing the same policy and the total
+        count — used by the Centralized baseline to compute its assignment.
+    """
+
+    network_ids: tuple[int, ...]
+    rng: np.random.Generator
+    slot_duration_s: float = 15.0
+    network_bandwidths: dict[int, float] = field(default_factory=dict)
+    device_index: int = 0
+    num_devices: int = 1
+
+
+class Policy(ABC):
+    """Base class for all selection policies.
+
+    Subclasses must implement :meth:`begin_slot` and :meth:`end_slot`.  The
+    default :meth:`update_available_networks` replaces the available set and
+    lets subclasses react via :meth:`on_network_set_changed`.
+    """
+
+    #: Set to True by policies that require counterfactual per-network gains.
+    needs_full_feedback: bool = False
+    #: Set to True by policies that rely on global knowledge (baselines only).
+    uses_global_knowledge: bool = False
+
+    def __init__(self, context: PolicyContext) -> None:
+        if not context.network_ids:
+            raise ValueError("a policy requires at least one available network")
+        self.context = context
+        self.rng = context.rng
+        self.available_networks: tuple[int, ...] = tuple(sorted(set(context.network_ids)))
+        self.reset_count: int = 0
+
+    @property
+    def num_networks(self) -> int:
+        return len(self.available_networks)
+
+    @abstractmethod
+    def begin_slot(self, slot: int) -> int:
+        """Return the network to associate with for this slot."""
+
+    @abstractmethod
+    def end_slot(self, slot: int, observation: Observation) -> None:
+        """Consume the feedback observed during the slot."""
+
+    def update_available_networks(self, available: frozenset[int] | set[int] | tuple[int, ...]) -> None:
+        """Replace the set of visible networks (coverage / availability change)."""
+        new_set = tuple(sorted(set(available)))
+        if not new_set:
+            raise ValueError("the available network set must not be empty")
+        if new_set == self.available_networks:
+            return
+        old_set = self.available_networks
+        self.available_networks = new_set
+        self.on_network_set_changed(frozenset(old_set), frozenset(new_set))
+
+    def on_network_set_changed(
+        self, old_set: frozenset[int], new_set: frozenset[int]
+    ) -> None:
+        """Hook for subclasses; default does nothing."""
+
+    @property
+    def probabilities(self) -> dict[int, float]:
+        """Current selection probabilities (uniform unless overridden).
+
+        Bandit policies override this with their actual mixed strategy; it is
+        the quantity used by the stable-state analysis (Definition 2).
+        """
+        uniform = 1.0 / self.num_networks
+        return {network_id: uniform for network_id in self.available_networks}
+
+    def _check_network(self, network_id: int) -> int:
+        if network_id not in self.available_networks:
+            raise ValueError(
+                f"policy chose network {network_id}, which is not in the available set "
+                f"{self.available_networks}"
+            )
+        return network_id

@@ -1,0 +1,49 @@
+"""Block EXP3 and Hybrid Block EXP3 (Table III of the paper).
+
+Both are restrictions of :class:`repro.core.smart_exp3.SmartEXP3Policy`:
+
+* **Block EXP3** keeps only the adaptive blocking on top of EXP3 — no initial
+  exploration, no greedy choices, no switch-back, no reset.
+* **Hybrid Block EXP3** adds Smart EXP3's initial exploration phase and greedy
+  policy to Block EXP3, but still has neither switch-back nor reset.
+
+They exist to isolate, in the evaluation, the contribution of each mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import PolicyContext
+from repro.core.config import SmartEXP3Config
+from repro.core.smart_exp3 import SmartEXP3Policy
+
+
+class BlockEXP3Policy(SmartEXP3Policy):
+    """EXP3 with adaptive blocking only."""
+
+    def __init__(
+        self, context: PolicyContext, config: SmartEXP3Config | None = None
+    ) -> None:
+        base = config if config is not None else SmartEXP3Config.block_exp3()
+        base = base.replace(
+            enable_reset=False,
+            enable_switchback=False,
+            enable_greedy=False,
+            enable_initial_exploration=False,
+        )
+        super().__init__(context, base)
+
+
+class HybridBlockEXP3Policy(SmartEXP3Policy):
+    """Block EXP3 plus the initial exploration and greedy policy of Smart EXP3."""
+
+    def __init__(
+        self, context: PolicyContext, config: SmartEXP3Config | None = None
+    ) -> None:
+        base = config if config is not None else SmartEXP3Config.hybrid_block_exp3()
+        base = base.replace(
+            enable_reset=False,
+            enable_switchback=False,
+            enable_greedy=True,
+            enable_initial_exploration=True,
+        )
+        super().__init__(context, base)

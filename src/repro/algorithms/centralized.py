@@ -1,0 +1,74 @@
+"""Centralized baseline (Table II).
+
+An omniscient allocator places devices at a Nash-equilibrium allocation and
+keeps them there, so it never switches and is optimal by construction.  The
+paper includes it as an upper bound that cannot be realised without
+coordination; here each device computes the same equilibrium allocation from
+global knowledge (network bandwidths, total device count and its own rank) and
+takes the slot in that allocation corresponding to its rank, which reproduces a
+centralised assignment without any runtime message exchange.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Observation, Policy, PolicyContext
+from repro.game.nash import nash_equilibrium_allocation
+from repro.game.network import Network
+
+
+class CentralizedPolicy(Policy):
+    """Optimal static assignment derived from a Nash-equilibrium allocation."""
+
+    uses_global_knowledge = True
+
+    def __init__(self, context: PolicyContext) -> None:
+        super().__init__(context)
+        if not context.network_bandwidths:
+            raise ValueError(
+                "CentralizedPolicy requires network_bandwidths in the policy context"
+            )
+        if context.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if not 0 <= context.device_index < context.num_devices:
+            raise ValueError(
+                f"device_index {context.device_index} out of range for "
+                f"{context.num_devices} devices"
+            )
+        self._assignment = self._compute_assignment()
+
+    def _compute_assignment(self) -> int:
+        networks = {
+            network_id: Network(network_id=network_id, bandwidth_mbps=bandwidth)
+            for network_id, bandwidth in self.context.network_bandwidths.items()
+            if network_id in self.available_networks
+        }
+        allocation = nash_equilibrium_allocation(networks, self.context.num_devices)
+        # Deterministically expand the allocation into per-rank assignments.
+        slots: list[int] = []
+        for network_id in sorted(allocation.counts):
+            slots.extend([network_id] * allocation.counts[network_id])
+        return slots[self.context.device_index]
+
+    def begin_slot(self, slot: int) -> int:
+        return self._check_network(self._assignment)
+
+    def end_slot(self, slot: int, observation: Observation) -> None:
+        # The centralized allocation is static; feedback is ignored.
+        return None
+
+    def on_network_set_changed(
+        self, old_set: frozenset[int], new_set: frozenset[int]
+    ) -> None:
+        self._assignment = self._compute_assignment()
+
+    @property
+    def probabilities(self) -> dict[int, float]:
+        return {
+            network_id: 1.0 if network_id == self._assignment else 0.0
+            for network_id in self.available_networks
+        }
+
+    @property
+    def assignment(self) -> int:
+        """The equilibrium network assigned to this device (exposed for tests)."""
+        return self._assignment

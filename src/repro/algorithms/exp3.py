@@ -1,0 +1,123 @@
+"""Classic EXP3 (Auer, Cesa-Bianchi, Freund, Schapire 2002).
+
+EXP3 keeps one weight per network.  Each slot it mixes the normalised weights
+with a uniform distribution (exploration), samples a network, observes the
+scaled gain, forms the importance-weighted estimate ``ĝ = g / p`` and applies
+the multiplicative update ``w ← w · exp(γ ĝ / k)``.
+
+The exploration rate γ decays as ``t^{-1/3}`` by default, as in the paper's
+implementation (Section V, following Maghsudi & Stanczak), which guarantees the
+convergence result of Theorem 1 while keeping early exploration strong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Observation, Policy, PolicyContext
+
+
+class EXP3Policy(Policy):
+    """Per-slot EXP3 — the paper's main baseline.
+
+    Parameters
+    ----------
+    context:
+        Standard policy context.
+    gamma:
+        Fixed exploration rate in ``(0, 1]``.  When ``None`` (default) the rate
+        decays as ``round^{-1/3}``.
+    """
+
+    def __init__(self, context: PolicyContext, gamma: float | None = None) -> None:
+        super().__init__(context)
+        if gamma is not None and not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self._fixed_gamma = gamma
+        self._round = 0
+        self._weights: dict[int, float] = {i: 1.0 for i in self.available_networks}
+        self._current_probabilities: dict[int, float] = dict(self.probabilities)
+        self._last_choice: int | None = None
+        self._last_probability: float = 1.0
+
+    # ------------------------------------------------------------------ utils
+    def _gamma(self) -> float:
+        if self._fixed_gamma is not None:
+            return self._fixed_gamma
+        return float(min(1.0, max(self._round, 1) ** (-1.0 / 3.0)))
+
+    def _compute_probabilities(self, gamma: float) -> dict[int, float]:
+        weights = np.asarray(
+            [self._weights[i] for i in self.available_networks], dtype=float
+        )
+        total = float(np.sum(weights))
+        k = len(weights)
+        probs = (1.0 - gamma) * weights / total + gamma / k
+        return {
+            network_id: float(p)
+            for network_id, p in zip(self.available_networks, probs)
+        }
+
+    def _normalise_weights(self) -> None:
+        max_weight = max(self._weights.values())
+        if max_weight > 1e100 or max_weight < 1e-100:
+            for network_id in self._weights:
+                self._weights[network_id] /= max_weight
+
+    # -------------------------------------------------------------- interface
+    def begin_slot(self, slot: int) -> int:
+        self._round += 1
+        gamma = self._gamma()
+        self._current_probabilities = self._compute_probabilities(gamma)
+        ids = list(self._current_probabilities)
+        probs = np.asarray([self._current_probabilities[i] for i in ids])
+        probs = probs / probs.sum()
+        choice = int(self.rng.choice(ids, p=probs))
+        self._last_choice = choice
+        self._last_probability = float(self._current_probabilities[choice])
+        return self._check_network(choice)
+
+    def end_slot(self, slot: int, observation: Observation) -> None:
+        if observation.network_id != self._last_choice:
+            raise ValueError(
+                "observation does not match the network chosen in begin_slot"
+            )
+        if not 0.0 <= observation.gain <= 1.0 + 1e-9:
+            raise ValueError(f"gain must be in [0, 1], got {observation.gain}")
+        gamma = self._gamma()
+        estimated = observation.gain / max(self._last_probability, 1e-12)
+        k = self.num_networks
+        self._weights[observation.network_id] *= float(
+            np.exp(gamma * estimated / k)
+        )
+        self._normalise_weights()
+
+    def on_network_set_changed(
+        self, old_set: frozenset[int], new_set: frozenset[int]
+    ) -> None:
+        """Give new networks the maximum existing weight; drop removed ones."""
+        existing = [self._weights[i] for i in old_set & new_set]
+        max_weight = max(existing) if existing else 1.0
+        self._weights = {
+            network_id: self._weights.get(network_id, max_weight)
+            for network_id in new_set
+        }
+
+    @property
+    def probabilities(self) -> dict[int, float]:
+        if not hasattr(self, "_current_probabilities") or not self._current_probabilities:
+            return super().probabilities
+        # Restrict to the current available set (it may have changed mid-run).
+        probs = {
+            network_id: self._current_probabilities.get(network_id, 0.0)
+            for network_id in self.available_networks
+        }
+        total = sum(probs.values())
+        if total <= 0:
+            return super().probabilities
+        return {network_id: p / total for network_id, p in probs.items()}
+
+    @property
+    def weights(self) -> dict[int, float]:
+        """Copy of the current weights (exposed for tests and analysis)."""
+        return dict(self._weights)

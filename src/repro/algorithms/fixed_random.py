@@ -1,0 +1,35 @@
+"""Fixed Random baseline (Table II): pick a network once, at random, and stay."""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Observation, Policy, PolicyContext
+
+
+class FixedRandomPolicy(Policy):
+    """Selects one network uniformly at random at start-up and never switches."""
+
+    def __init__(self, context: PolicyContext) -> None:
+        super().__init__(context)
+        self._choice = int(self.rng.choice(list(self.available_networks)))
+
+    def begin_slot(self, slot: int) -> int:
+        if self._choice not in self.available_networks:
+            # The chosen network disappeared: pick a new one at random and stay.
+            self._choice = int(self.rng.choice(list(self.available_networks)))
+        return self._check_network(self._choice)
+
+    def end_slot(self, slot: int, observation: Observation) -> None:
+        # Fixed Random ignores feedback entirely.
+        return None
+
+    @property
+    def probabilities(self) -> dict[int, float]:
+        return {
+            network_id: 1.0 if network_id == self._choice else 0.0
+            for network_id in self.available_networks
+        }
+
+    @property
+    def choice(self) -> int:
+        """The network this device committed to (exposed for tests)."""
+        return self._choice

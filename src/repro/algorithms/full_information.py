@@ -1,0 +1,94 @@
+"""Full Information baseline (Table II).
+
+A Hedge-style multiplicative-weights learner: at every slot the device selects
+a network at random from its normalised weights; at the end of the slot it
+receives *full* feedback — the gain it could have obtained from every network —
+and updates every weight from its loss.  This is only realisable with external
+help (a base station broadcasting loads), so the paper uses it as an idealised
+comparison point rather than a deployable algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Observation, Policy, PolicyContext
+
+
+class FullInformationPolicy(Policy):
+    """Multiplicative-weights with full (counterfactual) feedback."""
+
+    needs_full_feedback = True
+    uses_global_knowledge = True
+
+    def __init__(self, context: PolicyContext, eta: float | None = None) -> None:
+        super().__init__(context)
+        if eta is not None and eta <= 0:
+            raise ValueError(f"eta must be positive, got {eta}")
+        self._fixed_eta = eta
+        self._round = 0
+        self._weights: dict[int, float] = {i: 1.0 for i in self.available_networks}
+        self._last_choice: int | None = None
+
+    def _eta(self) -> float:
+        if self._fixed_eta is not None:
+            return self._fixed_eta
+        # Standard decaying rate sqrt(ln k / t).
+        k = max(self.num_networks, 2)
+        return float(np.sqrt(np.log(k) / max(self._round, 1)))
+
+    def _normalise_weights(self) -> None:
+        max_weight = max(self._weights.values())
+        if max_weight > 1e100 or max_weight < 1e-100:
+            for network_id in self._weights:
+                self._weights[network_id] /= max_weight
+
+    def begin_slot(self, slot: int) -> int:
+        self._round += 1
+        probs = self.probabilities
+        ids = list(probs)
+        values = np.asarray([probs[i] for i in ids])
+        values = values / values.sum()
+        choice = int(self.rng.choice(ids, p=values))
+        self._last_choice = choice
+        return self._check_network(choice)
+
+    def end_slot(self, slot: int, observation: Observation) -> None:
+        if observation.network_id != self._last_choice:
+            raise ValueError(
+                "observation does not match the network chosen in begin_slot"
+            )
+        if observation.full_feedback is None:
+            raise ValueError(
+                "FullInformationPolicy requires counterfactual feedback "
+                "(observation.full_feedback)"
+            )
+        eta = self._eta()
+        for network_id in self.available_networks:
+            gain = float(observation.full_feedback.get(network_id, 0.0))
+            loss = 1.0 - min(max(gain, 0.0), 1.0)
+            self._weights[network_id] *= float(np.exp(-eta * loss))
+        self._normalise_weights()
+
+    def on_network_set_changed(
+        self, old_set: frozenset[int], new_set: frozenset[int]
+    ) -> None:
+        existing = [self._weights[i] for i in old_set & new_set]
+        max_weight = max(existing) if existing else 1.0
+        self._weights = {
+            network_id: self._weights.get(network_id, max_weight)
+            for network_id in new_set
+        }
+
+    @property
+    def probabilities(self) -> dict[int, float]:
+        weights = np.asarray(
+            [self._weights[i] for i in self.available_networks], dtype=float
+        )
+        total = float(np.sum(weights))
+        if total <= 0:
+            return super().probabilities
+        return {
+            network_id: float(w / total)
+            for network_id, w in zip(self.available_networks, weights)
+        }

@@ -1,0 +1,95 @@
+"""Greedy baseline (Table II).
+
+The device first explores every available network once, in random order, then
+at every slot selects the network with the highest average observed gain.  The
+paper shows this simple policy beats EXP3 in practice but gets stuck in bad
+states ("tragedy of the commons" in setting 1) and cannot adapt when resources
+are freed.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Observation, Policy, PolicyContext
+
+
+class GreedyPolicy(Policy):
+    """Explore each network once, then always pick the best average gain."""
+
+    def __init__(self, context: PolicyContext) -> None:
+        super().__init__(context)
+        self._gain_sum: dict[int, float] = {i: 0.0 for i in self.available_networks}
+        self._gain_count: dict[int, int] = {i: 0 for i in self.available_networks}
+        self._exploration_order: list[int] = list(self.available_networks)
+        self.rng.shuffle(self._exploration_order)
+        self._to_explore: list[int] = list(self._exploration_order)
+        self._last_choice: int | None = None
+
+    def begin_slot(self, slot: int) -> int:
+        if self._to_explore:
+            choice = self._to_explore.pop(0)
+        else:
+            choice = self._best_network()
+        self._last_choice = choice
+        return self._check_network(choice)
+
+    def end_slot(self, slot: int, observation: Observation) -> None:
+        if observation.network_id != self._last_choice:
+            raise ValueError(
+                "observation does not match the network chosen in begin_slot"
+            )
+        self._gain_sum[observation.network_id] += observation.gain
+        self._gain_count[observation.network_id] += 1
+
+    def _average_gain(self, network_id: int) -> float:
+        count = self._gain_count[network_id]
+        if count == 0:
+            return 0.0
+        return self._gain_sum[network_id] / count
+
+    def _best_network(self) -> int:
+        # Ties broken in favour of the current network, then by id for determinism.
+        best_id = None
+        best_gain = -1.0
+        for network_id in self.available_networks:
+            gain = self._average_gain(network_id)
+            better = gain > best_gain + 1e-12
+            tie_stay = (
+                abs(gain - best_gain) <= 1e-12 and network_id == self._last_choice
+            )
+            if better or tie_stay:
+                best_gain = gain
+                best_id = network_id
+        assert best_id is not None
+        return best_id
+
+    def on_network_set_changed(
+        self, old_set: frozenset[int], new_set: frozenset[int]
+    ) -> None:
+        """Explore networks it has never seen; forget removed networks."""
+        for network_id in new_set - old_set:
+            self._gain_sum.setdefault(network_id, 0.0)
+            self._gain_count.setdefault(network_id, 0)
+            self._to_explore.append(network_id)
+        for network_id in old_set - new_set:
+            self._gain_sum.pop(network_id, None)
+            self._gain_count.pop(network_id, None)
+            if network_id in self._to_explore:
+                self._to_explore.remove(network_id)
+        if self._last_choice not in new_set:
+            self._last_choice = None
+
+    @property
+    def probabilities(self) -> dict[int, float]:
+        """Degenerate distribution on the network Greedy would pick next."""
+        if self._to_explore:
+            return super().probabilities
+        best = self._best_network()
+        return {
+            network_id: 1.0 if network_id == best else 0.0
+            for network_id in self.available_networks
+        }
+
+    @property
+    def average_gains(self) -> dict[int, float]:
+        """Average observed gain per network (exposed for tests)."""
+        return {i: self._average_gain(i) for i in self.available_networks}

@@ -1,0 +1,89 @@
+"""Name-based policy registry.
+
+Scenarios refer to policies by name so that experiment configurations remain
+declarative and serialisable.  :func:`create_policy` resolves a name and builds
+the policy from a :class:`repro.algorithms.base.PolicyContext`.
+
+The built-in names match the algorithm labels of the paper:
+
+``exp3``, ``block_exp3``, ``hybrid_block_exp3``, ``smart_exp3``,
+``smart_exp3_no_reset``, ``greedy``, ``full_information``, ``centralized``,
+``fixed_random``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algorithms.base import Policy, PolicyContext
+from repro.algorithms.block_exp3 import BlockEXP3Policy, HybridBlockEXP3Policy
+from repro.algorithms.centralized import CentralizedPolicy
+from repro.algorithms.exp3 import EXP3Policy
+from repro.algorithms.fixed_random import FixedRandomPolicy
+from repro.algorithms.full_information import FullInformationPolicy
+from repro.algorithms.greedy import GreedyPolicy
+from repro.core.config import SmartEXP3Config
+from repro.core.smart_exp3 import SmartEXP3Policy
+
+PolicyFactory = Callable[..., Policy]
+
+_REGISTRY: dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory, overwrite: bool = False) -> None:
+    """Register a policy factory under ``name``.
+
+    ``factory`` must accept a :class:`PolicyContext` as its first positional
+    argument, plus arbitrary keyword arguments.
+    """
+    if not name:
+        raise ValueError("policy name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"policy {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_policies() -> tuple[str, ...]:
+    """Names of all registered policies, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_policy(name: str, context: PolicyContext, **kwargs) -> Policy:
+    """Instantiate the policy registered under ``name``."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        )
+    return _REGISTRY[name](context, **kwargs)
+
+
+def _make_smart_exp3(context: PolicyContext, **kwargs) -> SmartEXP3Policy:
+    config = kwargs.pop("config", None)
+    if config is None and kwargs:
+        config = SmartEXP3Config(**kwargs)
+    elif kwargs:
+        config = config.replace(**kwargs)
+    return SmartEXP3Policy(context, config)
+
+
+def _make_smart_exp3_no_reset(context: PolicyContext, **kwargs) -> SmartEXP3Policy:
+    config = kwargs.pop("config", None)
+    if config is None:
+        config = SmartEXP3Config.without_reset()
+    config = config.replace(enable_reset=False, **kwargs)
+    return SmartEXP3Policy(context, config)
+
+
+register_policy("exp3", lambda context, **kwargs: EXP3Policy(context, **kwargs))
+register_policy("block_exp3", lambda context, **kwargs: BlockEXP3Policy(context, **kwargs))
+register_policy(
+    "hybrid_block_exp3", lambda context, **kwargs: HybridBlockEXP3Policy(context, **kwargs)
+)
+register_policy("smart_exp3", _make_smart_exp3)
+register_policy("smart_exp3_no_reset", _make_smart_exp3_no_reset)
+register_policy("greedy", lambda context, **kwargs: GreedyPolicy(context, **kwargs))
+register_policy(
+    "full_information", lambda context, **kwargs: FullInformationPolicy(context, **kwargs)
+)
+register_policy("centralized", lambda context, **kwargs: CentralizedPolicy(context, **kwargs))
+register_policy("fixed_random", lambda context, **kwargs: FixedRandomPolicy(context, **kwargs))

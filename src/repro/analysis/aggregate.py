@@ -1,0 +1,81 @@
+"""Cross-run aggregation helpers.
+
+Every figure of the paper reports an average (or median) over hundreds of
+simulation runs.  These helpers turn per-run scalars and per-slot series into
+the aggregated values the experiment drivers report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.metrics import SimulationResult
+
+
+def mean_over_runs(values: Iterable[float]) -> float:
+    """Mean of per-run scalars (ignores NaNs from runs where a metric is undefined)."""
+    data = np.asarray([v for v in values if v is not None], dtype=float)
+    if data.size == 0:
+        return float("nan")
+    return float(np.nanmean(data))
+
+
+def median_over_runs(values: Iterable[float]) -> float:
+    """Median of per-run scalars (ignores NaNs)."""
+    data = np.asarray([v for v in values if v is not None], dtype=float)
+    if data.size == 0:
+        return float("nan")
+    return float(np.nanmedian(data))
+
+
+def std_over_runs(values: Iterable[float]) -> float:
+    """Standard deviation of per-run scalars."""
+    data = np.asarray([v for v in values if v is not None], dtype=float)
+    if data.size == 0:
+        return float("nan")
+    return float(np.nanstd(data))
+
+
+def mean_of_series(series_list: Sequence[np.ndarray]) -> np.ndarray:
+    """Element-wise mean of equally long per-slot series (one per run)."""
+    if not series_list:
+        return np.asarray([], dtype=float)
+    lengths = {len(s) for s in series_list}
+    if len(lengths) != 1:
+        raise ValueError(f"series have different lengths: {sorted(lengths)}")
+    stacked = np.vstack([np.asarray(s, dtype=float) for s in series_list])
+    return np.mean(stacked, axis=0)
+
+
+def downsample_series(series: np.ndarray, points: int = 60) -> np.ndarray:
+    """Average a long per-slot series into ``points`` buckets (for compact reports)."""
+    data = np.asarray(series, dtype=float)
+    if points < 1:
+        raise ValueError("points must be >= 1")
+    if data.size <= points:
+        return data.copy()
+    edges = np.linspace(0, data.size, points + 1, dtype=int)
+    return np.asarray(
+        [float(np.mean(data[start:end])) for start, end in zip(edges[:-1], edges[1:]) if end > start]
+    )
+
+
+def summarize_runs(
+    results: Sequence[SimulationResult],
+    metric: Callable[[SimulationResult], float],
+    aggregator: Callable[[Iterable[float]], float] = mean_over_runs,
+) -> float:
+    """Apply a per-run metric to every run and aggregate the values."""
+    if not results:
+        raise ValueError("at least one result is required")
+    return aggregator(metric(result) for result in results)
+
+
+def per_run_median_download_gb(result: SimulationResult) -> float:
+    """Median per-device cumulative download of a run, in GB (Table V metric)."""
+    downloads = result.downloads_mb()
+    if downloads.size == 0:
+        return 0.0
+    return float(np.median(downloads)) / 1000.0

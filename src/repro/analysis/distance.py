@@ -1,0 +1,178 @@
+"""Distance metrics: Definitions 3 and 4 of the paper.
+
+* **Distance to Nash equilibrium** (Definition 3) — maximum percentage higher
+  gain any device would observe at equilibrium compared with its current gain;
+  reported per slot (Figs. 4, 7, 8, 9, 11).
+* **Distance from average bit rate available** (Definition 4) — used for the
+  controlled real-world experiments (Figs. 13–15) where nominal bandwidths are
+  unknown and noisy: the average shortfall of observed bit rates below the fair
+  share of the estimated aggregate bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.game.nash import distance_to_nash
+from repro.game.network import Network
+from repro.sim.metrics import SimulationResult
+
+
+def distance_to_nash_series(
+    result: SimulationResult,
+    device_ids: Sequence[int] | None = None,
+    network_ids: Iterable[int] | None = None,
+    report_device_ids: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Per-slot distance to Nash equilibrium (percent) for one run.
+
+    Parameters
+    ----------
+    result:
+        The simulation run.
+    device_ids:
+        Devices that define the game (the equilibrium is computed for the
+        number of *active* devices among them at each slot); defaults to all
+        devices.
+    network_ids:
+        Restrict the equilibrium computation to these networks (e.g. the
+        networks visible in one service area); defaults to all networks.
+    report_device_ids:
+        If given, the reported maximum improvement is taken only over these
+        devices, while the equilibrium is still computed for the whole
+        ``device_ids`` population.  Used when a subset of devices runs a
+        different policy (Fig. 11, Fig. 15): the subset shares the game with
+        everyone else but is evaluated separately.
+    """
+    ids = tuple(device_ids) if device_ids is not None else result.device_ids
+    report_ids = set(report_device_ids) if report_device_ids is not None else None
+    if network_ids is None:
+        networks: Mapping[int, Network] = result.networks
+    else:
+        networks = {i: result.networks[i] for i in network_ids}
+    series = np.zeros(result.num_slots, dtype=float)
+    for slot_index in range(result.num_slots):
+        active_ids = [d for d in ids if result.active[d][slot_index]]
+        gains = [float(result.rates_mbps[d][slot_index]) for d in active_ids]
+        if not gains:
+            series[slot_index] = 0.0
+            continue
+        if report_ids is None:
+            series[slot_index] = distance_to_nash(networks, gains)
+        else:
+            series[slot_index] = _subset_distance(
+                networks, active_ids, gains, report_ids
+            )
+    return series
+
+
+def _subset_distance(
+    networks: Mapping[int, Network],
+    active_ids: Sequence[int],
+    gains: Sequence[float],
+    report_ids: set[int],
+) -> float:
+    """Distance to equilibrium reported only for ``report_ids`` devices.
+
+    The equilibrium gain profile is computed for the whole active population;
+    devices are matched to equilibrium gains in sorted order (as in
+    Definition 3), and the maximum percentage improvement is taken over the
+    reported subset only.
+    """
+    from repro.game.nash import nash_gain_profile  # local import to avoid cycle
+
+    gains_array = np.asarray(gains, dtype=float)
+    order = np.argsort(gains_array)
+    ne_gains = nash_gain_profile(networks, len(gains_array))[: len(gains_array)]
+    best = 0.0
+    for rank, position in enumerate(order):
+        device_id = active_ids[position]
+        if device_id not in report_ids:
+            continue
+        current = gains_array[position]
+        target = ne_gains[rank]
+        if current <= 0:
+            improvement = np.inf if target > 0 else 0.0
+        else:
+            improvement = (target - current) / current * 100.0
+        best = max(best, float(improvement))
+    return best
+
+
+def fraction_of_time_at_equilibrium(
+    distance_series: np.ndarray, epsilon_percent: float = 7.5
+) -> float:
+    """Fraction of slots at which the distance is within ``epsilon_percent``.
+
+    The paper reports the share of time Smart EXP3 spends at (or within ε of)
+    Nash equilibrium, with ε = 7.5 %.
+    """
+    series = np.asarray(distance_series, dtype=float)
+    if series.size == 0:
+        return 0.0
+    return float(np.mean(series <= epsilon_percent + 1e-9))
+
+
+def optimal_distance_from_average_rate(
+    networks: Mapping[int, Network] | Iterable[Network],
+    num_devices: int,
+) -> float:
+    """Minimum achievable distance from the average bit rate (Definition 4).
+
+    At Nash equilibrium each device observes its network's equal share; the
+    optimal distance is the average shortfall of those shares below the global
+    per-device average.  It is zero only when the equilibrium is perfectly
+    egalitarian.
+    """
+    from repro.game.nash import nash_gain_profile  # local import to avoid cycle
+
+    if isinstance(networks, Mapping):
+        network_map = dict(networks)
+    else:
+        network_map = {n.network_id: n for n in networks}
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    aggregate = sum(n.bandwidth_mbps for n in network_map.values())
+    fair_share = aggregate / num_devices
+    equilibrium_gains = nash_gain_profile(network_map, num_devices)
+    shortfall = np.clip(fair_share - equilibrium_gains, 0.0, None) / fair_share * 100.0
+    return float(np.mean(shortfall))
+
+
+def distance_from_average_rate_series(
+    result: SimulationResult,
+    device_ids: Sequence[int] | None = None,
+    estimated_bandwidths: Mapping[int, float] | None = None,
+) -> np.ndarray:
+    """Per-slot distance from the average bit rate available (Definition 4).
+
+    For each slot, the aggregate bandwidth (estimated from nominal bandwidths
+    unless ``estimated_bandwidths`` is provided) is divided by the number of
+    active devices to obtain the fair share ``g``; the metric is the average of
+    ``max(g − g_j, 0) · 100 / g`` over active devices ``j``.
+    """
+    ids = tuple(device_ids) if device_ids is not None else result.device_ids
+    if estimated_bandwidths is None:
+        bandwidths = {i: n.bandwidth_mbps for i, n in result.networks.items()}
+    else:
+        bandwidths = dict(estimated_bandwidths)
+    aggregate = sum(bandwidths.values())
+    series = np.zeros(result.num_slots, dtype=float)
+    for slot_index in range(result.num_slots):
+        observed = [
+            float(result.rates_mbps[d][slot_index])
+            for d in ids
+            if result.active[d][slot_index]
+        ]
+        if not observed:
+            series[slot_index] = 0.0
+            continue
+        fair_share = aggregate / len(observed)
+        if fair_share <= 0:
+            series[slot_index] = 0.0
+            continue
+        shortfall = [max(fair_share - g, 0.0) * 100.0 / fair_share for g in observed]
+        series[slot_index] = float(np.mean(shortfall))
+    return series

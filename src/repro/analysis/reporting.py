@@ -1,0 +1,65 @@
+"""Plain-text table formatting for experiment outputs.
+
+Experiment drivers return plain dictionaries/rows; this module renders them as
+aligned text tables so benchmarks and examples can print paper-style tables
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    step: int = 1,
+    index_name: str = "slot",
+    title: str | None = None,
+) -> str:
+    """Render named per-slot series side by side (used for figure-style output)."""
+    if not series:
+        return (title + "\n" if title else "") + "(no data)"
+    names = list(series)
+    length = min(len(v) for v in series.values())
+    rows = []
+    for i in range(0, length, step):
+        row: dict[str, object] = {index_name: i + 1}
+        for name in names:
+            row[name] = float(series[name][i])
+        rows.append(row)
+    return format_table(rows, columns=[index_name, *names], title=title)

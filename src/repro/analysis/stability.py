@@ -1,0 +1,120 @@
+"""Stable-state detection (Definition 2 of the paper).
+
+An algorithm has reached a *stable state* when every device selects one
+particular network with probability at least 0.75 and keeps that probability
+until the end of the run.  The time to reach the stable state is the first slot
+from which this holds for all devices simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.game.nash import is_nash_equilibrium
+from repro.sim.metrics import SimulationResult
+
+#: Probability threshold of Definition 2.
+STABILITY_THRESHOLD = 0.75
+
+
+def _device_stable_slot(
+    probabilities: np.ndarray,
+    active: np.ndarray,
+    threshold: float,
+) -> tuple[int | None, int | None]:
+    """First slot index from which one network keeps probability >= threshold.
+
+    Returns ``(slot_index, network_column)`` or ``(None, None)`` if the device
+    never stabilises.  Only slots in which the device is active are considered;
+    the condition must hold until the device's last active slot.
+    """
+    active_indices = np.flatnonzero(active)
+    if active_indices.size == 0:
+        return None, None
+    last_active = active_indices[-1]
+    final_column = int(np.argmax(probabilities[last_active]))
+    column_probabilities = probabilities[active_indices, final_column]
+    above = column_probabilities >= threshold
+    if not above[-1]:
+        return None, None
+    # Find the last slot where the probability was below the threshold.
+    below_indices = np.flatnonzero(~above)
+    if below_indices.size == 0:
+        first_stable = active_indices[0]
+    else:
+        position = below_indices[-1] + 1
+        if position >= active_indices.size:
+            return None, None
+        first_stable = active_indices[position]
+    return int(first_stable), final_column
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Outcome of the stable-state analysis for one run.
+
+    ``final_allocation`` maps network id to the number of devices whose stable
+    (probability ≥ threshold) network it is; for unstable runs it falls back to
+    the realised allocation of the last slot.
+    """
+
+    stable: bool
+    stable_slot: int | None
+    at_nash_equilibrium: bool
+    final_allocation: dict[int, int]
+
+    @property
+    def stable_at_other_state(self) -> bool:
+        return self.stable and not self.at_nash_equilibrium
+
+
+def time_to_stable(
+    result: SimulationResult, threshold: float = STABILITY_THRESHOLD
+) -> int | None:
+    """Number of slots until the run reached a stable state (None if never)."""
+    report = stability_report(result, threshold)
+    return report.stable_slot if report.stable else None
+
+
+def stability_report(
+    result: SimulationResult, threshold: float = STABILITY_THRESHOLD
+) -> StabilityReport:
+    """Full stable-state report for one run.
+
+    The run is stable when every device (over its active slots) keeps a single
+    network's selection probability at or above ``threshold`` until the end.
+    The reported ``stable_slot`` is the first slot (1-based) from which this
+    holds for all devices.  The final allocation is additionally checked
+    against the Nash equilibria of the game.
+    """
+    per_device_slots: list[int] = []
+    stable_allocation: dict[int, int] = {network_id: 0 for network_id in result.networks}
+    network_order = result.network_order
+    for device_id in result.device_ids:
+        active = result.active[device_id]
+        if not np.any(active):
+            continue
+        slot_index, column = _device_stable_slot(
+            result.probabilities[device_id], active, threshold
+        )
+        if slot_index is None:
+            final_allocation = result.allocation_at(result.num_slots - 1)
+            return StabilityReport(
+                stable=False,
+                stable_slot=None,
+                at_nash_equilibrium=False,
+                final_allocation=final_allocation,
+            )
+        per_device_slots.append(slot_index)
+        stable_allocation[network_order[int(column)]] += 1
+
+    at_nash = is_nash_equilibrium(result.networks, stable_allocation)
+    stable_slot = (max(per_device_slots) + 1) if per_device_slots else None
+    return StabilityReport(
+        stable=True,
+        stable_slot=stable_slot,
+        at_nash_equilibrium=at_nash,
+        final_allocation=stable_allocation,
+    )

@@ -1,0 +1,38 @@
+"""Smart EXP3 — the paper's primary contribution.
+
+The algorithm (Section III / Algorithm 1) extends EXP3 with four mechanisms,
+each implemented in its own module so they can be enabled independently (this
+is how the Block EXP3 / Hybrid Block EXP3 / Smart EXP3 w/o Reset variants of
+Table III are produced):
+
+* :mod:`repro.core.blocking` — adaptive blocks of length ``ceil((1+β)^x)``.
+* :mod:`repro.core.greedy_policy` — the initial exploration phase and the
+  occasional deterministic greedy selection.
+* :mod:`repro.core.switchback` — return to the previous network after a bad
+  first slot in a new block.
+* :mod:`repro.core.reset` — the minimal reset mechanism (periodic and drop
+  triggered).
+* :mod:`repro.core.smart_exp3` — the :class:`SmartEXP3Policy` that composes
+  them on top of the EXP3 weight/probability updates.
+"""
+
+from repro.core.blocking import Block, BlockScheduler, SelectionType
+from repro.core.config import SmartEXP3Config
+from repro.core.greedy_policy import GainTracker, GreedyGate
+from repro.core.reset import DropDetector, ResetPolicy
+from repro.core.smart_exp3 import SmartEXP3Policy
+from repro.core.switchback import BlockHistory, SwitchBackRule
+
+__all__ = [
+    "Block",
+    "BlockHistory",
+    "BlockScheduler",
+    "DropDetector",
+    "GainTracker",
+    "GreedyGate",
+    "ResetPolicy",
+    "SelectionType",
+    "SmartEXP3Config",
+    "SmartEXP3Policy",
+    "SwitchBackRule",
+]

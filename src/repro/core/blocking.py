@@ -1,0 +1,110 @@
+"""Adaptive blocking: the block structure of Smart EXP3.
+
+Each device partitions time into blocks and keeps the same network for a whole
+block.  The length of a block on network ``i`` is ``ceil((1 + β)^x_i)`` where
+``x_i`` counts how many blocks have already been spent on that network, so time
+spent on the (eventually) preferred network grows geometrically and the number
+of switches grows only logarithmically in the horizon (Theorem 2).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class SelectionType(enum.Enum):
+    """How the network of a block was chosen.
+
+    The probability ``p(b)`` used in the importance-weighted gain estimate
+    depends on this (Section III / Table I, footnote 2).
+    """
+
+    EXPLORATION = "exploration"
+    RANDOM = "random"
+    RANDOM_AFTER_COIN = "random_after_coin"
+    GREEDY = "greedy"
+    SWITCH_BACK = "switch_back"
+
+
+@dataclass
+class Block:
+    """State of the block currently being executed by a device."""
+
+    index: int
+    network_id: int
+    length: int
+    selection_type: SelectionType
+    probability: float
+    slot_gains: list[float] = field(default_factory=list)
+    truncated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("block index must be >= 1")
+        if self.length < 1:
+            raise ValueError("block length must be >= 1")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError(f"block probability must be in (0, 1], got {self.probability}")
+
+    @property
+    def slots_elapsed(self) -> int:
+        return len(self.slot_gains)
+
+    @property
+    def total_gain(self) -> float:
+        """Accumulated scaled gain over the block, in ``[0, length]``."""
+        return float(sum(self.slot_gains))
+
+    @property
+    def is_complete(self) -> bool:
+        return self.truncated or self.slots_elapsed >= self.length
+
+    def record_gain(self, gain: float) -> None:
+        if self.is_complete:
+            raise RuntimeError("cannot record a gain on a completed block")
+        if not 0.0 <= gain <= 1.0 + 1e-9:
+            raise ValueError(f"per-slot gain must be in [0, 1], got {gain}")
+        self.slot_gains.append(float(gain))
+
+    def truncate(self) -> None:
+        """End the block early (switch-back cuts a bad block to a single slot)."""
+        self.truncated = True
+
+
+class BlockScheduler:
+    """Tracks per-network selection counts and derives block lengths."""
+
+    def __init__(self, beta: float) -> None:
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {beta}")
+        self.beta = beta
+        self._selection_counts: dict[int, int] = {}
+
+    def selection_count(self, network_id: int) -> int:
+        """Number of blocks already spent on ``network_id`` (``x_i``)."""
+        return self._selection_counts.get(network_id, 0)
+
+    def block_length(self, network_id: int) -> int:
+        """Length of the *next* block on ``network_id``: ``ceil((1+β)^x_i)``."""
+        exponent = self.selection_count(network_id)
+        return int(math.ceil((1.0 + self.beta) ** exponent))
+
+    def record_selection(self, network_id: int) -> int:
+        """Consume one selection of ``network_id``; returns the block length used."""
+        length = self.block_length(network_id)
+        self._selection_counts[network_id] = self.selection_count(network_id) + 1
+        return length
+
+    def forget_network(self, network_id: int) -> None:
+        """Drop the counter of a network that left the available set."""
+        self._selection_counts.pop(network_id, None)
+
+    def reset(self) -> None:
+        """Reset every block length (part of the minimal reset mechanism)."""
+        self._selection_counts.clear()
+
+    def counts(self) -> dict[int, int]:
+        """Copy of the per-network selection counters (for tests/analysis)."""
+        return dict(self._selection_counts)

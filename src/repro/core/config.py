@@ -1,0 +1,128 @@
+"""Configuration of Smart EXP3 and its variants.
+
+Default values follow Section V of the paper: β = 0.1, γ = b^(−1/3), 15-second
+slots, reset when p_{i+} ≥ 0.75 and l_{i+} ≥ 40 or when a ≥15 % sustained drop
+is observed, switch-back statistics from the last 8 slots of the previous
+block.  The four feature flags produce the algorithm family of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SmartEXP3Config:
+    """All tunables of :class:`repro.core.smart_exp3.SmartEXP3Policy`.
+
+    Attributes
+    ----------
+    beta:
+        Block growth factor; block length is ``ceil((1+β)^x)``.
+    gamma_exponent:
+        γ decays as ``b^(−gamma_exponent)`` with ``b`` the block index.
+    fixed_gamma:
+        If set, use this constant exploration rate instead of the decay.
+    enable_initial_exploration:
+        Explore every available network once (in random order) before using
+        the probability distribution.
+    enable_greedy:
+        Occasionally pick the highest-average-gain network deterministically
+        (with probability ½, when the greedy gate allows it).
+    enable_switchback:
+        Return to the previous network when the first slot of a new block is
+        worse than the previous block.
+    enable_reset:
+        Perform minimal resets (periodic and on a sustained quality drop).
+    reset_probability_threshold / reset_block_length_threshold:
+        Periodic reset fires when the most likely network has probability at
+        least the former and block length at least the latter.
+    drop_fraction:
+        Relative drop (0.15 = 15 %) that triggers a quality-drop reset.
+    drop_min_connection_slots:
+        The device must have been on the network for more than this many slots
+        (before the recent window) for a drop to trigger a reset.
+    drop_window_slots:
+        Number of recent slots whose average is compared against the earlier
+        part of the connection to decide a drop; averaging over several slots
+        ignores changes "observed only during one time slot".
+    switchback_window:
+        Number of trailing slots of the previous block used by the switch-back
+        rule (8 in the paper, to ignore stale data).
+    greedy_probability:
+        Probability of selecting greedily when the greedy gate allows it (an
+        unbiased coin in the paper).
+    removed_network_probability_threshold:
+        Losing a network whose selection probability is at least this value
+        triggers a reset ("significantly high probability" in the paper).
+    """
+
+    beta: float = 0.1
+    gamma_exponent: float = 1.0 / 3.0
+    fixed_gamma: float | None = None
+    enable_initial_exploration: bool = True
+    enable_greedy: bool = True
+    enable_switchback: bool = True
+    enable_reset: bool = True
+    reset_probability_threshold: float = 0.75
+    reset_block_length_threshold: int = 40
+    drop_fraction: float = 0.15
+    drop_min_connection_slots: int = 4
+    drop_window_slots: int = 5
+    switchback_window: int = 8
+    greedy_probability: float = 0.5
+    removed_network_probability_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {self.beta}")
+        if self.gamma_exponent <= 0:
+            raise ValueError("gamma_exponent must be positive")
+        if self.fixed_gamma is not None and not 0.0 < self.fixed_gamma <= 1.0:
+            raise ValueError(f"fixed_gamma must be in (0, 1], got {self.fixed_gamma}")
+        if not 0.0 < self.reset_probability_threshold <= 1.0:
+            raise ValueError("reset_probability_threshold must be in (0, 1]")
+        if self.reset_block_length_threshold < 1:
+            raise ValueError("reset_block_length_threshold must be >= 1")
+        if not 0.0 < self.drop_fraction < 1.0:
+            raise ValueError("drop_fraction must be in (0, 1)")
+        if self.drop_min_connection_slots < 1:
+            raise ValueError("drop_min_connection_slots must be >= 1")
+        if self.drop_window_slots < 1:
+            raise ValueError("drop_window_slots must be >= 1")
+        if self.switchback_window < 1:
+            raise ValueError("switchback_window must be >= 1")
+        if not 0.0 < self.greedy_probability <= 1.0:
+            raise ValueError("greedy_probability must be in (0, 1]")
+        if not 0.0 < self.removed_network_probability_threshold <= 1.0:
+            raise ValueError("removed_network_probability_threshold must be in (0, 1]")
+
+    # --------------------------------------------------------------- variants
+    @classmethod
+    def full(cls) -> "SmartEXP3Config":
+        """The complete Smart EXP3 algorithm."""
+        return cls()
+
+    @classmethod
+    def without_reset(cls) -> "SmartEXP3Config":
+        """Smart EXP3 w/o Reset (Table III)."""
+        return cls(enable_reset=False)
+
+    @classmethod
+    def hybrid_block_exp3(cls) -> "SmartEXP3Config":
+        """Hybrid Block EXP3 (Table III): blocks + exploration + greedy."""
+        return cls(enable_reset=False, enable_switchback=False)
+
+    @classmethod
+    def block_exp3(cls) -> "SmartEXP3Config":
+        """Block EXP3 (Table III): adaptive blocks only."""
+        return cls(
+            enable_reset=False,
+            enable_switchback=False,
+            enable_greedy=False,
+            enable_initial_exploration=False,
+        )
+
+    def replace(self, **changes) -> "SmartEXP3Config":
+        """Functional update (thin wrapper over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)

@@ -1,0 +1,102 @@
+"""Initial exploration and the greedy selection gate of Smart EXP3.
+
+Smart EXP3 explores every available network once (in random order) and then,
+while the probability distribution is still close to uniform — or again after a
+reset — flips an unbiased coin and with probability ½ picks the network with
+the highest average observed gain instead of sampling from the distribution
+(Section III, "Greedy choices"; Section V for the precise conditions).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+class GainTracker:
+    """Average observed gain per network, fed once per time slot."""
+
+    def __init__(self) -> None:
+        self._gain_sum: dict[int, float] = {}
+        self._gain_count: dict[int, int] = {}
+
+    def record(self, network_id: int, gain: float) -> None:
+        if gain < 0:
+            raise ValueError(f"gain must be non-negative, got {gain}")
+        self._gain_sum[network_id] = self._gain_sum.get(network_id, 0.0) + gain
+        self._gain_count[network_id] = self._gain_count.get(network_id, 0) + 1
+
+    def observations(self, network_id: int) -> int:
+        return self._gain_count.get(network_id, 0)
+
+    def average(self, network_id: int) -> float:
+        count = self._gain_count.get(network_id, 0)
+        if count == 0:
+            return 0.0
+        return self._gain_sum[network_id] / count
+
+    def best_network(self, candidates: Iterable[int]) -> int | None:
+        """Network with the highest average gain among ``candidates``.
+
+        Returns ``None`` when no candidate has been observed yet.  Ties are
+        broken by network id for determinism.
+        """
+        best_id: int | None = None
+        best_gain = -1.0
+        for network_id in sorted(candidates):
+            if self.observations(network_id) == 0:
+                continue
+            gain = self.average(network_id)
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_id = network_id
+        return best_id
+
+    def forget_network(self, network_id: int) -> None:
+        self._gain_sum.pop(network_id, None)
+        self._gain_count.pop(network_id, None)
+
+    def reset(self) -> None:
+        """Clear all averages (part of the minimal reset)."""
+        self._gain_sum.clear()
+        self._gain_count.clear()
+
+
+class GreedyGate:
+    """Decides whether the greedy selection may be considered for a block.
+
+    The gate opens when either of two conditions holds (Section V):
+
+    * (a) ``max(p) − min(p) ≤ 1/(k−1)`` — the distribution is still close to
+      uniform, so the device has not committed to a network yet; or
+    * (b) ``l_{i+} < y`` where ``l_{i+}`` is the block length of the most
+      probable network and ``y`` is its value at the moment condition (a) first
+      became false.  This re-opens the gate after a reset (block lengths shrink
+      back below the latched value).
+    """
+
+    def __init__(self) -> None:
+        self._latched_length: int | None = None
+
+    @property
+    def latched_length(self) -> int | None:
+        """The latched ``y`` value (``None`` until condition (a) first fails)."""
+        return self._latched_length
+
+    def allows_greedy(
+        self,
+        probabilities: Mapping[int, float],
+        top_network_block_length: int,
+    ) -> bool:
+        """Whether the greedy coin may be flipped for the next block."""
+        if not probabilities:
+            return False
+        k = len(probabilities)
+        if k <= 1:
+            return False
+        values = list(probabilities.values())
+        spread = max(values) - min(values)
+        if spread <= 1.0 / (k - 1) + 1e-12:
+            return True
+        if self._latched_length is None:
+            self._latched_length = top_network_block_length
+        return top_network_block_length < self._latched_length

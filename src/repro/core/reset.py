@@ -1,0 +1,155 @@
+"""Minimal reset mechanism of Smart EXP3.
+
+Smart EXP3 resets "every so often" and when it detects a significant sustained
+drop in the quality of the network it keeps selecting (Section III, "Minimal
+reset"; Section V for thresholds).  A reset clears block lengths and the data
+used by the greedy selection and forces a fresh exploration of the available
+networks — but keeps the weights, so learning is not thrown away.
+
+Two triggers are implemented:
+
+* **Periodic** — the most probable network has probability ≥ 0.75 *and* its
+  block length has grown to ≥ 40 slots: the device has locked in, so a reset
+  lets it discover resources other devices may have freed.
+* **Quality drop** — the device has been connected to its most-used network for
+  more than 4 slots and observes a drop of at least 15 % (sustained over more
+  than one slot) relative to what that network delivered earlier.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+
+class DropDetector:
+    """Detects a sustained drop in the quality of the current connection.
+
+    The detector compares the average gain of the most recent ``window_slots``
+    slots of the uninterrupted connection against the average gain of the
+    earlier part of the same connection (the "reference").  A drop is reported
+    only when
+
+    * the device has a meaningful reference — at least ``min_connection_slots``
+      slots connected before the recent window ("connected since more than 4
+      time slots" in the paper), and
+    * the recent average is at least ``drop_fraction`` below the reference.
+
+    Averaging over a multi-slot window makes the detector insensitive to
+    single-slot dips (another device exploring the network for one slot) while
+    a genuine, persistent quality drop — a trace bandwidth collapse, a crowd of
+    devices joining and staying — is caught within ``window_slots`` slots.
+    """
+
+    def __init__(
+        self,
+        drop_fraction: float = 0.15,
+        min_connection_slots: int = 4,
+        window_slots: int = 5,
+        reference_window_slots: int = 16,
+    ) -> None:
+        if not 0.0 < drop_fraction < 1.0:
+            raise ValueError("drop_fraction must be in (0, 1)")
+        if min_connection_slots < 1:
+            raise ValueError("min_connection_slots must be >= 1")
+        if window_slots < 1:
+            raise ValueError("window_slots must be >= 1")
+        if reference_window_slots < min_connection_slots:
+            raise ValueError(
+                "reference_window_slots must be at least min_connection_slots"
+            )
+        self.drop_fraction = drop_fraction
+        self.min_connection_slots = min_connection_slots
+        self.window_slots = window_slots
+        self.reference_window_slots = reference_window_slots
+        self._network_id: int | None = None
+        self._gains: list[float] = []
+
+    @property
+    def connection_length(self) -> int:
+        """Number of consecutive slots spent on the current network."""
+        return len(self._gains)
+
+    def observe(self, network_id: int, gain: float) -> bool:
+        """Record one slot of the current connection; returns True on a drop.
+
+        Changing network restarts the detector entirely: the drop must be
+        observed on a single uninterrupted connection.
+        """
+        gain = float(gain)
+        if network_id != self._network_id:
+            self._network_id = network_id
+            self._gains = []
+        self._gains.append(gain)
+        max_history = self.reference_window_slots + self.window_slots
+        if len(self._gains) > max_history:
+            self._gains = self._gains[-max_history:]
+        if len(self._gains) <= self.min_connection_slots + self.window_slots:
+            return False
+        recent = self._gains[-self.window_slots:]
+        reference = self._gains[: -self.window_slots]
+        reference_level = float(np.median(reference))
+        if reference_level <= 0:
+            return False
+        # Medians make the detector robust to isolated one-slot dips (noise or a
+        # single exploring device), which the paper explicitly ignores.
+        recent_level = float(np.median(recent))
+        return recent_level <= (1.0 - self.drop_fraction) * reference_level
+
+    def clear(self) -> None:
+        """Forget all state (called after a reset)."""
+        self._network_id = None
+        self._gains = []
+
+
+class ResetPolicy:
+    """Combines the periodic and drop-based reset triggers."""
+
+    def __init__(
+        self,
+        probability_threshold: float = 0.75,
+        block_length_threshold: int = 40,
+        drop_fraction: float = 0.15,
+        drop_min_connection_slots: int = 4,
+        drop_window_slots: int = 2,
+    ) -> None:
+        if not 0.0 < probability_threshold <= 1.0:
+            raise ValueError("probability_threshold must be in (0, 1]")
+        if block_length_threshold < 1:
+            raise ValueError("block_length_threshold must be >= 1")
+        self.probability_threshold = probability_threshold
+        self.block_length_threshold = block_length_threshold
+        self.drop_detector = DropDetector(
+            drop_fraction=drop_fraction,
+            min_connection_slots=drop_min_connection_slots,
+            window_slots=drop_window_slots,
+        )
+
+    def should_periodic_reset(
+        self,
+        probabilities: Mapping[int, float],
+        top_network_block_length: int,
+    ) -> bool:
+        """Periodic trigger: the device has locked in to a single network."""
+        if not probabilities:
+            return False
+        top_probability = max(probabilities.values())
+        return (
+            top_probability >= self.probability_threshold
+            and top_network_block_length >= self.block_length_threshold
+        )
+
+    def observe_slot(self, network_id: int, gain: float, is_most_used: bool) -> bool:
+        """Drop trigger: feed the slot observation; returns True to reset.
+
+        Only drops on the most-used network (``i_max`` in the paper) trigger a
+        reset — a dip on a network the device is merely exploring is not a
+        reason to forget everything.
+        """
+        dropped = self.drop_detector.observe(network_id, gain)
+        return dropped and is_most_used
+
+    def after_reset(self) -> None:
+        """Clear detector state after the policy has performed a reset."""
+        self.drop_detector.clear()

@@ -1,0 +1,375 @@
+"""Smart EXP3 (Algorithm 1 of the paper) and its Table-III variants.
+
+:class:`SmartEXP3Policy` composes the EXP3 weight/probability updates with the
+four mechanisms of Section III:
+
+1. **Adaptive blocking** — a network is kept for ``ceil((1+β)^x)`` slots.
+2. **Initial exploration + greedy choices** — every network is tried once in
+   random order; afterwards, while the distribution is still near uniform (or
+   again after a reset), an unbiased coin decides between a greedy pick of the
+   best average-gain network and a random draw from the distribution.
+3. **Switch-back** — if the first slot of a new block is worse than the
+   previous block, the new block is cut to one slot and the device returns to
+   its previous network.
+4. **Minimal reset** — periodically, and on a sustained ≥15 % quality drop,
+   block lengths and greedy statistics are cleared and exploration is forced,
+   while the learned weights are kept.
+
+Disabling mechanisms via :class:`repro.core.config.SmartEXP3Config` yields the
+Block EXP3, Hybrid Block EXP3 and Smart EXP3 w/o Reset variants evaluated in
+Section VI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Observation, Policy, PolicyContext
+from repro.core.blocking import Block, BlockScheduler, SelectionType
+from repro.core.config import SmartEXP3Config
+from repro.core.greedy_policy import GainTracker, GreedyGate
+from repro.core.reset import ResetPolicy
+from repro.core.switchback import BlockHistory, SwitchBackRule
+
+
+class SmartEXP3Policy(Policy):
+    """The Smart EXP3 network-selection policy.
+
+    Parameters
+    ----------
+    context:
+        Standard policy context (available networks and the device's RNG).
+    config:
+        Algorithm parameters and feature flags; defaults to the full algorithm
+        with the paper's Section-V constants.
+    """
+
+    def __init__(
+        self, context: PolicyContext, config: SmartEXP3Config | None = None
+    ) -> None:
+        super().__init__(context)
+        self.config = config if config is not None else SmartEXP3Config.full()
+        self._weights: dict[int, float] = {i: 1.0 for i in self.available_networks}
+        self._scheduler = BlockScheduler(beta=self.config.beta)
+        self._gain_tracker = GainTracker()
+        self._greedy_gate = GreedyGate()
+        self._switch_rule = SwitchBackRule(window=self.config.switchback_window)
+        self._reset_policy = ResetPolicy(
+            probability_threshold=self.config.reset_probability_threshold,
+            block_length_threshold=self.config.reset_block_length_threshold,
+            drop_fraction=self.config.drop_fraction,
+            drop_min_connection_slots=self.config.drop_min_connection_slots,
+            drop_window_slots=self.config.drop_window_slots,
+        )
+        self._block_index = 0
+        self._current_block: Block | None = None
+        self._previous_history: BlockHistory | None = None
+        self._previous_was_switch_back = False
+        self._switch_back_pending = False
+        self._switch_back_target: int | None = None
+        self._drop_reset_pending = False
+        self._explore_set: set[int] = (
+            set(self.available_networks)
+            if self.config.enable_initial_exploration
+            else set()
+        )
+        self._slot_usage: dict[int, int] = {i: 0 for i in self.available_networks}
+        self._current_probabilities: dict[int, float] = {
+            i: 1.0 / self.num_networks for i in self.available_networks
+        }
+
+    # ----------------------------------------------------------------- gamma
+    def _gamma(self, block_index: int | None = None) -> float:
+        if self.config.fixed_gamma is not None:
+            return self.config.fixed_gamma
+        b = block_index if block_index is not None else max(self._block_index, 1)
+        return float(min(1.0, max(b, 1) ** (-self.config.gamma_exponent)))
+
+    # ----------------------------------------------------------- distribution
+    def _compute_probabilities(self, gamma: float) -> dict[int, float]:
+        weights = np.asarray(
+            [self._weights[i] for i in self.available_networks], dtype=float
+        )
+        total = float(np.sum(weights))
+        k = len(weights)
+        probs = (1.0 - gamma) * weights / total + gamma / k
+        return {
+            network_id: float(p)
+            for network_id, p in zip(self.available_networks, probs)
+        }
+
+    def _normalise_weights(self) -> None:
+        max_weight = max(self._weights.values())
+        if max_weight > 1e100 or max_weight < 1e-100:
+            for network_id in self._weights:
+                self._weights[network_id] /= max_weight
+
+    def _sample(self, probabilities: dict[int, float]) -> int:
+        ids = list(probabilities)
+        values = np.asarray([probabilities[i] for i in ids], dtype=float)
+        values = values / values.sum()
+        return int(self.rng.choice(ids, p=values))
+
+    def _top_network(self, probabilities: dict[int, float]) -> int:
+        return max(sorted(probabilities), key=lambda i: probabilities[i])
+
+    def _most_used_network(self) -> int | None:
+        """The network ``i_max`` selected for the highest number of time slots.
+
+        Returns ``None`` until one network clearly dominates the device's usage
+        (more than half of its connected slots): the drop-based reset is only
+        meaningful once the device has a long-run preferred network, otherwise
+        ordinary congestion churn during convergence would be mistaken for an
+        environmental change.
+        """
+        used = {i: c for i, c in self._slot_usage.items() if c > 0}
+        if not used:
+            return None
+        total = sum(used.values())
+        top = max(sorted(used), key=lambda i: used[i])
+        if used[top] <= 0.5 * total:
+            return None
+        return top
+
+    # ------------------------------------------------------------ block logic
+    def _start_new_block(self) -> None:
+        self._block_index += 1
+        gamma = self._gamma(self._block_index)
+        probabilities = self._compute_probabilities(gamma)
+        self._current_probabilities = probabilities
+
+        network_id: int
+        probability: float
+        selection_type: SelectionType
+
+        if (
+            self.config.enable_switchback
+            and self._switch_back_pending
+            and self._switch_back_target in self.available_networks
+        ):
+            network_id = int(self._switch_back_target)  # type: ignore[arg-type]
+            probability = 1.0
+            selection_type = SelectionType.SWITCH_BACK
+            self._switch_back_pending = False
+            self._switch_back_target = None
+        elif self.config.enable_initial_exploration and self._explore_set:
+            candidates = sorted(self._explore_set & set(self.available_networks))
+            if candidates:
+                probability = 1.0 / len(candidates)
+                network_id = int(self.rng.choice(candidates))
+                self._explore_set.discard(network_id)
+                selection_type = SelectionType.EXPLORATION
+            else:
+                self._explore_set.clear()
+                network_id, probability, selection_type = self._choose_learned(
+                    probabilities
+                )
+        else:
+            network_id, probability, selection_type = self._choose_learned(
+                probabilities
+            )
+
+        length = self._scheduler.record_selection(network_id)
+        self._current_block = Block(
+            index=self._block_index,
+            network_id=network_id,
+            length=length,
+            selection_type=selection_type,
+            probability=probability,
+        )
+
+    def _choose_learned(
+        self, probabilities: dict[int, float]
+    ) -> tuple[int, float, SelectionType]:
+        """Choose via the greedy coin or the probability distribution."""
+        top = self._top_network(probabilities)
+        greedy_considered = (
+            self.config.enable_greedy
+            and self._greedy_gate.allows_greedy(
+                probabilities, self._scheduler.block_length(top)
+            )
+        )
+        if greedy_considered and self.rng.random() < self.config.greedy_probability:
+            best = self._gain_tracker.best_network(self.available_networks)
+            if best is not None:
+                return best, self.config.greedy_probability, SelectionType.GREEDY
+        network_id = self._sample(probabilities)
+        if greedy_considered:
+            probability = probabilities[network_id] * (1.0 - self.config.greedy_probability)
+            return network_id, probability, SelectionType.RANDOM_AFTER_COIN
+        return network_id, probabilities[network_id], SelectionType.RANDOM
+
+    def _finalize_block(self) -> None:
+        block = self._current_block
+        assert block is not None
+        gamma = self._gamma(block.index)
+        k = self.num_networks
+        if block.network_id in self._weights:
+            estimated_gain = block.total_gain / max(block.probability, 1e-12)
+            self._weights[block.network_id] *= float(
+                np.exp(gamma * estimated_gain / k)
+            )
+            self._normalise_weights()
+        history = BlockHistory(
+            network_id=block.network_id,
+            gains=list(block.slot_gains),
+            window=self.config.switchback_window,
+        )
+        self._previous_history = history
+        self._previous_was_switch_back = block.selection_type is SelectionType.SWITCH_BACK
+
+        if self.config.enable_reset:
+            probabilities = self._compute_probabilities(self._gamma())
+            top = self._top_network(probabilities)
+            periodic = self._reset_policy.should_periodic_reset(
+                probabilities, self._scheduler.block_length(top)
+            )
+            if periodic or self._drop_reset_pending:
+                self._do_reset()
+
+    def _do_reset(self) -> None:
+        """Minimal reset: forget block lengths and greedy data, keep the weights."""
+        self._scheduler.reset()
+        self._gain_tracker.reset()
+        self._reset_policy.after_reset()
+        if self.config.enable_initial_exploration:
+            self._explore_set = set(self.available_networks)
+        self._switch_back_pending = False
+        self._switch_back_target = None
+        self._previous_history = None
+        self._previous_was_switch_back = False
+        self._drop_reset_pending = False
+        self.reset_count += 1
+
+    # -------------------------------------------------------------- interface
+    def begin_slot(self, slot: int) -> int:
+        if self._current_block is None or self._current_block.is_complete:
+            self._start_new_block()
+        assert self._current_block is not None
+        return self._check_network(self._current_block.network_id)
+
+    def end_slot(self, slot: int, observation: Observation) -> None:
+        block = self._current_block
+        if block is None:
+            raise RuntimeError("end_slot called before begin_slot")
+        if observation.network_id != block.network_id:
+            raise ValueError(
+                "observation does not match the network chosen in begin_slot"
+            )
+        gain = float(np.clip(observation.gain, 0.0, 1.0))
+        block.record_gain(gain)
+        self._gain_tracker.record(block.network_id, gain)
+        self._slot_usage[block.network_id] = (
+            self._slot_usage.get(block.network_id, 0) + 1
+        )
+
+        first_slot_of_block = block.slots_elapsed == 1
+        if (
+            self.config.enable_switchback
+            and first_slot_of_block
+            # During (initial or post-reset) exploration every network must be
+            # visited once, so exploration blocks are never abandoned early.
+            and block.selection_type is not SelectionType.EXPLORATION
+        ):
+            should_switch_back = self._switch_rule.should_switch_back(
+                first_slot_gain=gain,
+                current_network=block.network_id,
+                previous_block=self._previous_history,
+                current_block_is_switch_back=(
+                    block.selection_type is SelectionType.SWITCH_BACK
+                ),
+                previous_block_was_switch_back=self._previous_was_switch_back,
+            )
+            if should_switch_back:
+                assert self._previous_history is not None
+                block.truncate()
+                self._switch_back_pending = True
+                self._switch_back_target = self._previous_history.network_id
+
+        if self.config.enable_reset:
+            most_used = self._most_used_network()
+            drop = self._reset_policy.observe_slot(
+                block.network_id, gain, is_most_used=(block.network_id == most_used)
+            )
+            if drop:
+                self._drop_reset_pending = True
+                block.truncate()
+
+        if block.is_complete:
+            self._finalize_block()
+
+    # -------------------------------------------------- dynamic network sets
+    def on_network_set_changed(
+        self, old_set: frozenset[int], new_set: frozenset[int]
+    ) -> None:
+        added = new_set - old_set
+        removed = old_set - new_set
+        needs_reset = False
+
+        if added:
+            existing = [self._weights[i] for i in old_set & new_set if i in self._weights]
+            max_weight = max(existing) if existing else 1.0
+            for network_id in added:
+                self._weights[network_id] = max_weight
+                self._slot_usage.setdefault(network_id, 0)
+            needs_reset = True
+
+        for network_id in removed:
+            probability = self._current_probabilities.get(network_id, 0.0)
+            if probability >= self.config.removed_network_probability_threshold:
+                needs_reset = True
+            self._weights.pop(network_id, None)
+            self._slot_usage.pop(network_id, None)
+            self._scheduler.forget_network(network_id)
+            self._gain_tracker.forget_network(network_id)
+            self._explore_set.discard(network_id)
+            if self._switch_back_target == network_id:
+                self._switch_back_pending = False
+                self._switch_back_target = None
+            if (
+                self._previous_history is not None
+                and self._previous_history.network_id == network_id
+            ):
+                self._previous_history = None
+
+        if (
+            self._current_block is not None
+            and self._current_block.network_id not in new_set
+        ):
+            # The connected network disappeared: abandon the block (its gain is
+            # not credited to any weight) and re-select next slot.
+            self._current_block = None
+
+        if needs_reset and self.config.enable_reset:
+            self._do_reset()
+        elif needs_reset:
+            # Variants without the reset mechanism still need to explore newly
+            # discovered networks to remain well defined.
+            if self.config.enable_initial_exploration and added:
+                self._explore_set |= set(added)
+
+    # -------------------------------------------------------------- reporting
+    @property
+    def probabilities(self) -> dict[int, float]:
+        probabilities = self._compute_probabilities(self._gamma())
+        return probabilities
+
+    @property
+    def weights(self) -> dict[int, float]:
+        """Copy of the current network weights (exposed for tests/analysis)."""
+        return dict(self._weights)
+
+    @property
+    def block_index(self) -> int:
+        """Number of blocks started so far."""
+        return self._block_index
+
+    @property
+    def current_block(self) -> Block | None:
+        """The block currently being executed (read-only view for diagnostics)."""
+        return self._current_block
+
+    @property
+    def explore_remaining(self) -> frozenset[int]:
+        """Networks still queued for the initial/forced exploration."""
+        return frozenset(self._explore_set)

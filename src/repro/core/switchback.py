@@ -1,0 +1,103 @@
+"""Switch-back mechanism of Smart EXP3.
+
+Intuition (Section III): when the system is at (or near) Nash equilibrium, a
+device that switches network observes a *lower* gain than before.  So if the
+first slot of a new block is worse than what the device saw in the previous
+block, it cuts the new block short and starts a special block that simply
+re-associates with the previous network.  Two consecutive switch-backs are
+forbidden to prevent ping-ponging, and the comparison uses only the last 8
+slots of the previous block to ignore stale data (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BlockHistory:
+    """Trailing per-slot gains of a finished block, for the switch-back rule."""
+
+    network_id: int
+    gains: list[float] = field(default_factory=list)
+    window: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        self.gains = [float(g) for g in self.gains[-self.window:]]
+
+    def record(self, gain: float) -> None:
+        self.gains.append(float(gain))
+        if len(self.gains) > self.window:
+            self.gains.pop(0)
+
+    @property
+    def has_data(self) -> bool:
+        return bool(self.gains)
+
+    @property
+    def average_gain(self) -> float:
+        if not self.gains:
+            return 0.0
+        return float(sum(self.gains) / len(self.gains))
+
+    @property
+    def last_gain(self) -> float:
+        if not self.gains:
+            return 0.0
+        return float(self.gains[-1])
+
+    def fraction_better_than(self, gain: float) -> float:
+        """Fraction of recorded slots whose gain strictly exceeds ``gain``."""
+        if not self.gains:
+            return 0.0
+        better = sum(1 for g in self.gains if g > gain + 1e-12)
+        return better / len(self.gains)
+
+
+class SwitchBackRule:
+    """Decides whether to abandon the current block and return to the previous network."""
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def should_switch_back(
+        self,
+        first_slot_gain: float,
+        current_network: int,
+        previous_block: BlockHistory | None,
+        current_block_is_switch_back: bool,
+        previous_block_was_switch_back: bool,
+    ) -> bool:
+        """Evaluate the switch-back conditions after the first slot of a block.
+
+        Parameters
+        ----------
+        first_slot_gain:
+            Scaled gain observed in the first slot of the current block.
+        current_network:
+            Network of the current block.
+        previous_block:
+            Trailing history of the previous block (``None`` for the very first
+            block of an execution).
+        current_block_is_switch_back:
+            True when the current block itself was started by a switch-back;
+            switching back again would undo the correction (condition (b)).
+        previous_block_was_switch_back:
+            True when the previous block was a switch-back block; a further
+            switch-back would create the ping-pong the paper explicitly avoids.
+        """
+        if previous_block is None or not previous_block.has_data:
+            return False
+        if current_block_is_switch_back or previous_block_was_switch_back:
+            return False
+        if previous_block.network_id == current_network:
+            # Staying on the same network is not a switch; nothing to undo.
+            return False
+        worse_than_average = first_slot_gain < previous_block.average_gain - 1e-12
+        worse_than_last = first_slot_gain < previous_block.last_gain - 1e-12
+        mostly_better_before = previous_block.fraction_better_than(first_slot_gain) > 0.5
+        return worse_than_average or worse_than_last or mostly_better_before

@@ -1,0 +1,120 @@
+"""Shared configuration and helpers for the experiment drivers.
+
+Every experiment accepts an :class:`ExperimentConfig`; the default is scaled
+down (a handful of runs, shorter horizons) so the whole benchmark suite
+completes on a laptop in minutes, while :meth:`ExperimentConfig.paper` returns
+the full-scale parameters the paper used (500 runs of 1200 slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+from repro.sim.metrics import SimulationResult
+from repro.sim.runner import run_many
+from repro.sim.scenario import Scenario
+
+#: The policies of Table II and Table III, in the order the paper lists them.
+ALL_POLICIES: tuple[str, ...] = (
+    "exp3",
+    "block_exp3",
+    "hybrid_block_exp3",
+    "smart_exp3_no_reset",
+    "smart_exp3",
+    "greedy",
+    "full_information",
+    "centralized",
+    "fixed_random",
+)
+
+#: The block-based variants compared in Fig. 3 / Table IV.
+BLOCK_POLICIES: tuple[str, ...] = (
+    "block_exp3",
+    "hybrid_block_exp3",
+    "smart_exp3_no_reset",
+)
+
+#: The policies compared in the dynamic settings (Figs. 7–9).
+DYNAMIC_POLICIES: tuple[str, ...] = (
+    "exp3",
+    "smart_exp3_no_reset",
+    "smart_exp3",
+    "greedy",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Run-count / horizon configuration of an experiment.
+
+    Attributes
+    ----------
+    runs:
+        Number of independent simulation runs per (policy, setting) pair.
+    horizon_slots:
+        Horizon of each run, in slots; ``None`` keeps the scenario's default.
+    base_seed:
+        Seed of the first run; run ``i`` uses ``base_seed + i``.
+    """
+
+    runs: int = 5
+    horizon_slots: int | None = 600
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError("runs must be >= 1")
+        if self.horizon_slots is not None and self.horizon_slots < 10:
+            raise ValueError("horizon_slots must be >= 10")
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """Tiny configuration used by the test-suite (seconds per experiment)."""
+        return cls(runs=2, horizon_slots=150)
+
+    @classmethod
+    def default(cls) -> "ExperimentConfig":
+        """Benchmark-friendly configuration (minutes for the whole suite)."""
+        return cls(runs=5, horizon_slots=600)
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The paper's configuration: 500 runs of 1200 slots (5 simulated hours)."""
+        return cls(runs=500, horizon_slots=1200)
+
+    def replace(self, **changes) -> "ExperimentConfig":
+        return replace(self, **changes)
+
+
+def apply_horizon(scenario: Scenario, config: ExperimentConfig) -> Scenario:
+    """Apply the config's horizon override to a scenario."""
+    if config.horizon_slots is None:
+        return scenario
+    return scenario.with_horizon(config.horizon_slots)
+
+
+def run_scenario(
+    scenario: Scenario, config: ExperimentConfig
+) -> list[SimulationResult]:
+    """Run a scenario ``config.runs`` times."""
+    return run_many(apply_horizon(scenario, config), config.runs, config.base_seed)
+
+
+def run_policy_grid(
+    scenario_factory: Callable[..., Scenario],
+    policies: Sequence[str],
+    config: ExperimentConfig,
+    **factory_kwargs,
+) -> dict[str, list[SimulationResult]]:
+    """Run ``scenario_factory(policy=p, **kwargs)`` for every policy ``p``."""
+    results: dict[str, list[SimulationResult]] = {}
+    for policy in policies:
+        scenario = scenario_factory(policy=policy, **factory_kwargs)
+        results[policy] = run_scenario(scenario, config)
+    return results
+
+
+def flatten_rows(rows: Iterable[dict]) -> list[dict]:
+    """Materialise an iterable of row dictionaries (sorted output helper)."""
+    return list(rows)

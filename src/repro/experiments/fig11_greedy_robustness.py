@@ -1,0 +1,52 @@
+"""Fig. 11 — robustness against "greedy" devices.
+
+Three scenarios mix Smart EXP3 and Greedy devices (20 devices, networks
+4/7/22 Mbps): 19+1, 10+10 and 1+19.  The paper finds that Greedy does fine when
+few devices are greedy but collapses when most are, whereas Smart EXP3 performs
+well in all three mixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.aggregate import downsample_series, mean_of_series
+from repro.analysis.distance import distance_to_nash_series
+from repro.experiments.common import ExperimentConfig, run_scenario
+from repro.sim.scenario import mixed_policy_scenario
+
+#: (scenario label, number of Smart EXP3 devices, number of Greedy devices).
+SCENARIOS = (
+    ("scenario1 (1 greedy)", 19, 1),
+    ("scenario2 (10 greedy)", 10, 10),
+    ("scenario3 (19 greedy)", 1, 19),
+)
+
+
+def run(config: ExperimentConfig | None = None, series_points: int = 40) -> dict:
+    """Return per-scenario, per-policy-group mean distance series and averages."""
+    config = config or ExperimentConfig.default()
+    output: dict = {}
+    for label, smart_count, greedy_count in SCENARIOS:
+        scenario = mixed_policy_scenario(
+            {"smart_exp3": smart_count, "greedy": greedy_count}, name=label
+        )
+        results = run_scenario(scenario, config)
+        groups = {group.name: group.device_ids for group in scenario.device_groups}
+        entry: dict = {"series": {}, "mean_distance": {}}
+        for policy_name, device_ids in groups.items():
+            series = mean_of_series(
+                [
+                    distance_to_nash_series(r, report_device_ids=device_ids)
+                    for r in results
+                ]
+            )
+            entry["series"][policy_name] = downsample_series(series, series_points).tolist()
+            tail = max(len(series) // 3, 1)
+            entry["mean_distance"][policy_name] = float(np.mean(series[-tail:]))
+        output[label] = entry
+    return output
+
+
+def paper_config() -> ExperimentConfig:
+    return ExperimentConfig.paper()

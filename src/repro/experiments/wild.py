@@ -1,0 +1,54 @@
+"""In-the-wild experiment (Section VII-B): race to download a 500 MB file.
+
+Smart EXP3 and Greedy each download the file 12 times in a coffee-shop-like
+environment whose background load is not controlled.  The paper reports mean
+completion times of 12.90 min (Smart EXP3) vs 15.67 min (Greedy), i.e. about
+1.2× / 18 % faster for Smart EXP3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentConfig
+from repro.sim.wild import WildEnvironment, run_wild_download
+
+POLICIES = ("smart_exp3", "greedy")
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    file_size_mb: float = 500.0,
+    environment: WildEnvironment | None = None,
+) -> dict:
+    """Return mean completion time per policy and the Smart EXP3 speed-up."""
+    config = config or ExperimentConfig(runs=12, horizon_slots=None)
+    environment = environment or WildEnvironment()
+    output: dict = {"file_size_mb": file_size_mb, "per_policy": {}}
+    means: dict[str, float] = {}
+    for policy in POLICIES:
+        runs = [
+            run_wild_download(
+                policy,
+                seed=config.base_seed + i,
+                file_size_mb=file_size_mb,
+                environment=environment,
+            )
+            for i in range(config.runs)
+        ]
+        minutes = [r.elapsed_minutes for r in runs]
+        means[policy] = float(np.mean(minutes))
+        output["per_policy"][policy] = {
+            "mean_minutes": float(np.mean(minutes)),
+            "std_minutes": float(np.std(minutes)),
+            "completed_runs": int(sum(r.completed for r in runs)),
+            "mean_switches": float(np.mean([r.switches for r in runs])),
+        }
+    output["speedup_smart_over_greedy"] = means["greedy"] / means["smart_exp3"]
+    output["pct_faster"] = (means["greedy"] - means["smart_exp3"]) / means["greedy"] * 100.0
+    return output
+
+
+def paper_config() -> ExperimentConfig:
+    """The paper ran 12 downloads per algorithm."""
+    return ExperimentConfig(runs=12, horizon_slots=None)

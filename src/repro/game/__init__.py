@@ -1,0 +1,47 @@
+"""Wireless network selection game substrate.
+
+This subpackage implements the congestion-game formulation of Section II of the
+paper: wireless networks as shared resources, mobile devices as players, gains
+as the bit rate observed under equal (or noisy) bandwidth sharing, and Nash /
+epsilon-equilibrium computations used throughout the evaluation.
+"""
+
+from repro.game.congestion_game import Allocation, NetworkSelectionGame, StrategyProfile
+from repro.game.device import Device, DeviceGroup
+from repro.game.gain import (
+    EqualShareModel,
+    GainModel,
+    NoisyShareModel,
+    scale_gain,
+    unscale_gain,
+)
+from repro.game.nash import (
+    best_response,
+    distance_to_nash,
+    is_epsilon_equilibrium,
+    is_nash_equilibrium,
+    nash_equilibrium_allocation,
+    nash_gain_profile,
+)
+from repro.game.network import Network, NetworkType
+
+__all__ = [
+    "Allocation",
+    "Device",
+    "DeviceGroup",
+    "EqualShareModel",
+    "GainModel",
+    "Network",
+    "NetworkSelectionGame",
+    "NetworkType",
+    "NoisyShareModel",
+    "StrategyProfile",
+    "best_response",
+    "distance_to_nash",
+    "is_epsilon_equilibrium",
+    "is_nash_equilibrium",
+    "nash_equilibrium_allocation",
+    "nash_gain_profile",
+    "scale_gain",
+    "unscale_gain",
+]

@@ -1,0 +1,191 @@
+"""Repeated congestion-game formulation of wireless network selection.
+
+Implements the game tuple Γ = ⟨N, K, (S_j), (U_i)⟩ from Section II-B of the
+paper: a finite set of devices, a finite set of networks, per-device strategy
+sets (the networks visible to that device) and gains given by the shared bit
+rate on the chosen network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.game.gain import EqualShareModel, GainModel
+from repro.game.network import Network
+
+
+@dataclass(frozen=True)
+class StrategyProfile:
+    """A pure strategy profile: one chosen network per device.
+
+    ``choices`` maps device id to network id.  Devices that are currently
+    inactive (outside their presence window) are simply absent from the map.
+    """
+
+    choices: Mapping[int, int]
+
+    def network_of(self, device_id: int) -> int:
+        return self.choices[device_id]
+
+    def devices(self) -> tuple[int, ...]:
+        return tuple(sorted(self.choices))
+
+    def counts(self) -> dict[int, int]:
+        """Number of devices associated with each chosen network."""
+        counts: dict[int, int] = {}
+        for network_id in self.choices.values():
+            counts[network_id] = counts.get(network_id, 0) + 1
+        return counts
+
+    def with_deviation(self, device_id: int, network_id: int) -> "StrategyProfile":
+        """Profile identical to this one except ``device_id`` plays ``network_id``."""
+        if device_id not in self.choices:
+            raise KeyError(f"device {device_id} is not part of this profile")
+        new_choices = dict(self.choices)
+        new_choices[device_id] = network_id
+        return StrategyProfile(choices=new_choices)
+
+
+@dataclass
+class Allocation:
+    """An allocation of device counts to networks (anonymous strategy profile).
+
+    Many equilibrium computations only need the number of devices on each
+    network, not which device is where; an ``Allocation`` captures exactly
+    that.
+    """
+
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for network_id, count in self.counts.items():
+            if count < 0:
+                raise ValueError(
+                    f"count for network {network_id} must be >= 0, got {count}"
+                )
+
+    @classmethod
+    def from_profile(cls, profile: StrategyProfile) -> "Allocation":
+        return cls(counts=profile.counts())
+
+    def total_devices(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, network_id: int) -> int:
+        return self.counts.get(network_id, 0)
+
+    def gains(self, networks: Mapping[int, Network]) -> dict[int, float]:
+        """Per-device gain (Mbps) on each occupied network under equal sharing."""
+        gains: dict[int, float] = {}
+        for network_id, count in self.counts.items():
+            if count <= 0:
+                continue
+            gains[network_id] = networks[network_id].shared_rate(count)
+        return gains
+
+    def as_sorted_gain_vector(self, networks: Mapping[int, Network]) -> np.ndarray:
+        """Sorted (ascending) per-device gains implied by this allocation."""
+        per_network = self.gains(networks)
+        values: list[float] = []
+        for network_id, count in self.counts.items():
+            if count > 0:
+                values.extend([per_network[network_id]] * count)
+        return np.sort(np.asarray(values, dtype=float))
+
+
+class NetworkSelectionGame:
+    """The wireless network selection game over a fixed set of networks.
+
+    Parameters
+    ----------
+    networks:
+        The networks available in the service area (the set ``K``).
+    gain_model:
+        How bandwidth is divided among clients; defaults to equal sharing as
+        assumed by the paper's simulations.
+    """
+
+    def __init__(
+        self,
+        networks: Iterable[Network],
+        gain_model: GainModel | None = None,
+    ) -> None:
+        network_list = list(networks)
+        if not network_list:
+            raise ValueError("the game requires at least one network")
+        ids = [n.network_id for n in network_list]
+        if len(set(ids)) != len(ids):
+            raise ValueError("network ids must be unique")
+        self.networks: dict[int, Network] = {n.network_id: n for n in network_list}
+        self.gain_model = gain_model if gain_model is not None else EqualShareModel()
+
+    @property
+    def network_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.networks))
+
+    @property
+    def num_networks(self) -> int:
+        return len(self.networks)
+
+    @property
+    def total_bandwidth_mbps(self) -> float:
+        return sum(n.bandwidth_mbps for n in self.networks.values())
+
+    @property
+    def max_bandwidth_mbps(self) -> float:
+        return max(n.bandwidth_mbps for n in self.networks.values())
+
+    def gain(self, profile: StrategyProfile, device_id: int) -> float:
+        """Gain (Mbps) observed by ``device_id`` under ``profile`` (equal share)."""
+        network_id = profile.network_of(device_id)
+        count = profile.counts()[network_id]
+        return self.networks[network_id].shared_rate(count)
+
+    def gains(self, profile: StrategyProfile) -> dict[int, float]:
+        """Gain (Mbps) of every device under ``profile`` (equal share)."""
+        counts = profile.counts()
+        return {
+            device_id: self.networks[network_id].shared_rate(counts[network_id])
+            for device_id, network_id in profile.choices.items()
+        }
+
+    def realized_rates(
+        self,
+        profile: StrategyProfile,
+        slot: int,
+        rng: np.random.Generator,
+    ) -> dict[int, float]:
+        """Per-device bit rates using the configured (possibly noisy) gain model."""
+        by_network: dict[int, list[int]] = {}
+        for device_id, network_id in profile.choices.items():
+            by_network.setdefault(network_id, []).append(device_id)
+        rates: dict[int, float] = {}
+        for network_id, clients in by_network.items():
+            network_rates = self.gain_model.rates(
+                self.networks[network_id], tuple(sorted(clients)), slot, rng
+            )
+            rates.update(network_rates)
+        return rates
+
+    def cumulative_goodput(
+        self,
+        gains_mbps: Iterable[float],
+        delays_s: Iterable[float],
+        slot_duration_s: float,
+    ) -> float:
+        """Cumulative goodput in megabits: Σ rate · (slot − delay).
+
+        Matches the paper's definition of cumulative goodput (Section II-B,
+        item 5): the gain of each slot is weighted by the slot duration minus
+        the switching delay incurred in that slot.
+        """
+        if slot_duration_s <= 0:
+            raise ValueError("slot_duration_s must be positive")
+        total = 0.0
+        for rate, delay in zip(gains_mbps, delays_s):
+            effective = max(slot_duration_s - max(delay, 0.0), 0.0)
+            total += rate * effective
+        return total

@@ -1,0 +1,102 @@
+"""Mobile device model.
+
+A :class:`Device` is one player of the network selection game.  In the paper a
+device is a phone, laptop or Raspberry Pi running a selection algorithm; here
+the device only carries identity, presence (join/leave slots) and its service
+area trajectory — the decision making lives in ``repro.algorithms`` /
+``repro.core`` policies attached by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Device:
+    """One mobile device (player) in the selection game.
+
+    Parameters
+    ----------
+    device_id:
+        Unique integer identifier.
+    join_slot:
+        First time slot (1-based, inclusive) in which the device is active.
+    leave_slot:
+        Last time slot (inclusive) in which the device is active; ``None``
+        means the device stays until the end of the horizon.
+    area_schedule:
+        Mapping from the first slot of a segment to the service-area name the
+        device occupies from that slot onward.  Used only by mobility
+        scenarios (Fig. 9); an empty schedule means the device sees the
+        scenario's default network set.
+    """
+
+    device_id: int
+    join_slot: int = 1
+    leave_slot: int | None = None
+    area_schedule: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise ValueError(f"device_id must be non-negative, got {self.device_id}")
+        if self.join_slot < 1:
+            raise ValueError(f"join_slot must be >= 1, got {self.join_slot}")
+        if self.leave_slot is not None and self.leave_slot < self.join_slot:
+            raise ValueError(
+                f"leave_slot ({self.leave_slot}) must be >= join_slot ({self.join_slot})"
+            )
+        if any(slot < 1 for slot in self.area_schedule):
+            raise ValueError("area_schedule keys must be >= 1")
+
+    def is_active(self, slot: int) -> bool:
+        """Whether the device is present in the service area at ``slot``."""
+        if slot < self.join_slot:
+            return False
+        if self.leave_slot is not None and slot > self.leave_slot:
+            return False
+        return True
+
+    def area_at(self, slot: int, default: str = "default") -> str:
+        """Service area occupied at ``slot`` (for mobility scenarios)."""
+        if not self.area_schedule:
+            return default
+        active_key: int | None = None
+        for start in sorted(self.area_schedule):
+            if start <= slot:
+                active_key = start
+            else:
+                break
+        if active_key is None:
+            return default
+        return self.area_schedule[active_key]
+
+
+@dataclass
+class DeviceGroup:
+    """A named group of devices, used to report per-group metrics (Fig. 9)."""
+
+    name: str
+    device_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.device_ids:
+            raise ValueError("a device group must contain at least one device")
+        if len(set(self.device_ids)) != len(self.device_ids):
+            raise ValueError("device_ids must be unique within a group")
+
+    def __contains__(self, device_id: int) -> bool:
+        return device_id in self.device_ids
+
+    def __len__(self) -> int:
+        return len(self.device_ids)
+
+
+def make_devices(count: int, join_slot: int = 1, leave_slot: int | None = None) -> list[Device]:
+    """Create ``count`` devices with consecutive ids and a shared presence window."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [
+        Device(device_id=i, join_slot=join_slot, leave_slot=leave_slot)
+        for i in range(count)
+    ]

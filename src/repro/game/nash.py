@@ -1,0 +1,175 @@
+"""Nash equilibrium computation and distance-to-equilibrium metrics.
+
+The wireless network selection game is a singleton congestion game (Rosenthal
+1973), so a pure Nash equilibrium always exists and is reached by iterated best
+response.  This module provides:
+
+* :func:`nash_equilibrium_allocation` — an equilibrium allocation of ``n``
+  interchangeable devices over the networks.
+* :func:`is_nash_equilibrium` / :func:`is_epsilon_equilibrium` — checks used by
+  tests and the stability analysis.
+* :func:`distance_to_nash` — Definition 3 of the paper: the maximum percentage
+  higher gain any device would observe at Nash equilibrium compared with its
+  current gain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.game.congestion_game import Allocation
+from repro.game.network import Network
+
+
+def _network_map(networks: Iterable[Network] | Mapping[int, Network]) -> dict[int, Network]:
+    if isinstance(networks, Mapping):
+        return dict(networks)
+    return {n.network_id: n for n in networks}
+
+
+def best_response(
+    networks: Iterable[Network] | Mapping[int, Network],
+    counts: Mapping[int, int],
+    current_network: int | None = None,
+) -> int:
+    """Best network for one more device, given the counts of the *other* devices.
+
+    ``counts`` are the numbers of devices currently on each network *excluding*
+    the deciding device.  ``current_network`` breaks ties in favour of staying.
+    """
+    nets = _network_map(networks)
+    if not nets:
+        raise ValueError("at least one network is required")
+    best_id: int | None = None
+    best_rate = -np.inf
+    for network_id in sorted(nets):
+        rate = nets[network_id].shared_rate(counts.get(network_id, 0) + 1)
+        if rate > best_rate + 1e-12:
+            best_rate = rate
+            best_id = network_id
+        elif abs(rate - best_rate) <= 1e-12 and network_id == current_network:
+            best_id = network_id
+    assert best_id is not None
+    return best_id
+
+
+def nash_equilibrium_allocation(
+    networks: Iterable[Network] | Mapping[int, Network],
+    num_devices: int,
+) -> Allocation:
+    """A pure Nash equilibrium allocation of ``num_devices`` identical devices.
+
+    Devices are added one at a time, each joining the network that maximises
+    its share given the devices already placed.  For singleton congestion games
+    with decreasing per-resource payoffs this greedy water-filling yields a
+    Nash equilibrium of the full game.
+    """
+    nets = _network_map(networks)
+    if num_devices < 0:
+        raise ValueError(f"num_devices must be >= 0, got {num_devices}")
+    counts: dict[int, int] = {network_id: 0 for network_id in nets}
+    for _ in range(num_devices):
+        chosen = best_response(nets, counts)
+        counts[chosen] += 1
+    return Allocation(counts=counts)
+
+
+def nash_gain_profile(
+    networks: Iterable[Network] | Mapping[int, Network],
+    num_devices: int,
+) -> np.ndarray:
+    """Sorted per-device gains (Mbps) at a Nash equilibrium allocation."""
+    nets = _network_map(networks)
+    allocation = nash_equilibrium_allocation(nets, num_devices)
+    return allocation.as_sorted_gain_vector(nets)
+
+
+def is_nash_equilibrium(
+    networks: Iterable[Network] | Mapping[int, Network],
+    allocation: Allocation | Mapping[int, int],
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether no device can strictly improve by unilaterally switching network."""
+    return is_epsilon_equilibrium(networks, allocation, epsilon=0.0, tolerance=tolerance)
+
+
+def is_epsilon_equilibrium(
+    networks: Iterable[Network] | Mapping[int, Network],
+    allocation: Allocation | Mapping[int, int],
+    epsilon: float,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether no device can improve its gain by more than ``epsilon`` Mbps.
+
+    Matches the ε-equilibrium definition the paper quotes in Section VI-A:
+    ``g_i(S) >= g_i(S_-j, S'_j) - ε`` for every unilateral deviation.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+    nets = _network_map(networks)
+    counts = allocation.counts if isinstance(allocation, Allocation) else dict(allocation)
+    for network_id, count in counts.items():
+        if count <= 0:
+            continue
+        current_gain = nets[network_id].shared_rate(count)
+        for other_id, other_network in nets.items():
+            if other_id == network_id:
+                continue
+            deviated_gain = other_network.shared_rate(counts.get(other_id, 0) + 1)
+            if deviated_gain > current_gain + epsilon + tolerance:
+                return False
+    return True
+
+
+def distance_to_nash(
+    networks: Iterable[Network] | Mapping[int, Network],
+    current_gains_mbps: Sequence[float],
+    num_devices: int | None = None,
+) -> float:
+    """Distance to Nash equilibrium (Definition 3), in percent.
+
+    The paper defines the distance as "the maximum percentage higher gain any
+    device would have observed if the algorithm was at Nash equilibrium,
+    compared to its current gain".  At equilibrium, the multiset of per-device
+    gains is fixed (up to device identity); we pair the current gains with the
+    equilibrium gains in sorted order (worst-off device compared with the
+    worst-off equilibrium share, and so on) and report the maximum percentage
+    improvement.  This reproduces the worked example of the paper: current
+    gains (1, 1, 4) Mbps against an equilibrium of (2, 2, 2) Mbps gives 100 %.
+
+    Parameters
+    ----------
+    networks:
+        Networks of the service area.
+    current_gains_mbps:
+        The gain each active device currently observes (Mbps).
+    num_devices:
+        Number of devices to allocate at equilibrium; defaults to
+        ``len(current_gains_mbps)``.
+    """
+    gains = np.asarray(list(current_gains_mbps), dtype=float)
+    if gains.size == 0:
+        return 0.0
+    if np.any(gains < 0):
+        raise ValueError("current gains must be non-negative")
+    n = int(num_devices) if num_devices is not None else int(gains.size)
+    if n < gains.size:
+        raise ValueError(
+            "num_devices must be at least the number of reported gains"
+        )
+    ne_gains = nash_gain_profile(networks, n)
+    # Compare like-for-like: the i-th smallest current gain against the i-th
+    # smallest equilibrium gain.  When more devices are allocated at NE than
+    # reported gains (inactive devices), compare against the smallest NE gains.
+    current_sorted = np.sort(gains)
+    ne_sorted = ne_gains[: current_sorted.size]
+    with np.errstate(divide="ignore"):
+        improvements = np.where(
+            current_sorted > 0,
+            (ne_sorted - current_sorted) / current_sorted * 100.0,
+            np.where(ne_sorted > 0, np.inf, 0.0),
+        )
+    max_improvement = float(np.max(improvements))
+    return max(max_improvement, 0.0)

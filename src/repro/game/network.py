@@ -1,0 +1,103 @@
+"""Wireless network model.
+
+A :class:`Network` is one selectable resource in the congestion game: a WiFi
+access point or a cellular base station with a nominal (aggregate) bandwidth
+that is shared among the devices associated with it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class NetworkType(enum.Enum):
+    """Radio technology of a network.
+
+    The type matters for the switching-delay model (Section VI-A of the paper
+    fits a Johnson SU distribution to WiFi association delays and a Student's
+    t-distribution to cellular attach delays).
+    """
+
+    WIFI = "wifi"
+    CELLULAR = "cellular"
+
+
+@dataclass(frozen=True)
+class Network:
+    """A single wireless network available in a service area.
+
+    Parameters
+    ----------
+    network_id:
+        Unique integer identifier. Identifiers are stable across the whole
+        simulation even when coverage changes (e.g. networks 1..5 in the
+        mobility scenario of Fig. 1).
+    bandwidth_mbps:
+        Nominal aggregate data rate of the network in Mbit/s.  The paper's
+        setting 1 uses 4, 7 and 22 Mbps; setting 2 uses 11 Mbps each.
+    network_type:
+        WiFi or cellular; selects the switching-delay distribution.
+    name:
+        Optional human readable label used in reports.
+    """
+
+    network_id: int
+    bandwidth_mbps: float
+    network_type: NetworkType = NetworkType.WIFI
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.network_id < 0:
+            raise ValueError(f"network_id must be non-negative, got {self.network_id}")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(
+                f"bandwidth_mbps must be positive, got {self.bandwidth_mbps}"
+            )
+        if not self.name:
+            object.__setattr__(
+                self,
+                "name",
+                f"{self.network_type.value}-{self.network_id}",
+            )
+
+    def shared_rate(self, num_clients: int) -> float:
+        """Bit rate (Mbps) each client observes under equal sharing.
+
+        The paper assumes "a network's bandwidth is equally shared among its
+        clients" in the simulations of Section VI-A.  A network with no client
+        has its full bandwidth available.
+        """
+        if num_clients < 0:
+            raise ValueError(f"num_clients must be >= 0, got {num_clients}")
+        if num_clients <= 1:
+            return self.bandwidth_mbps
+        return self.bandwidth_mbps / num_clients
+
+
+def make_networks(
+    bandwidths_mbps: list[float] | tuple[float, ...],
+    types: list[NetworkType] | None = None,
+    start_id: int = 0,
+) -> list[Network]:
+    """Build a list of :class:`Network` from bandwidths (convenience factory).
+
+    ``types`` defaults to all WiFi except the highest-bandwidth network which is
+    marked cellular, mirroring the paper's settings where the 22 Mbps network is
+    the cellular one.
+    """
+    bandwidths = list(bandwidths_mbps)
+    if not bandwidths:
+        raise ValueError("at least one bandwidth is required")
+    if types is None:
+        max_idx = max(range(len(bandwidths)), key=lambda i: bandwidths[i])
+        types = [
+            NetworkType.CELLULAR if i == max_idx and len(bandwidths) > 1 else NetworkType.WIFI
+            for i in range(len(bandwidths))
+        ]
+    if len(types) != len(bandwidths):
+        raise ValueError("types must have the same length as bandwidths")
+    return [
+        Network(network_id=start_id + i, bandwidth_mbps=bw, network_type=t)
+        for i, (bw, t) in enumerate(zip(bandwidths, types))
+    ]

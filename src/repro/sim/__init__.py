@@ -1,0 +1,58 @@
+"""Simulation substrate: event engine, environment, delays, scenarios, runner.
+
+The paper evaluates Smart EXP3 with a SimPy-based slotted simulator.  This
+subpackage re-implements that substrate from scratch:
+
+* :mod:`repro.sim.engine` — a small discrete-event simulation engine.
+* :mod:`repro.sim.delay` — switching-delay models (Johnson SU / Student's t).
+* :mod:`repro.sim.mobility` — service areas and coverage maps (Fig. 1).
+* :mod:`repro.sim.environment` — the slotted wireless environment.
+* :mod:`repro.sim.scenario` — declarative scenario descriptions + the paper's
+  settings 1–3 and the dynamic variants.
+* :mod:`repro.sim.metrics` — per-run result containers.
+* :mod:`repro.sim.runner` — single-run and multi-run simulation drivers.
+* :mod:`repro.sim.traces` — synthetic WiFi/cellular trace library and the
+  trace-driven single-device simulator (Section VI-B substitution).
+* :mod:`repro.sim.testbed` — noisy testbed scenarios (Section VII-A substitution).
+* :mod:`repro.sim.wild` — in-the-wild download race (Section VII-B substitution).
+"""
+
+from repro.sim.delay import ConstantDelayModel, DelayModel, EmpiricalDelayModel, NoDelayModel
+from repro.sim.engine import Event, EventQueue, SimulationEngine
+from repro.sim.environment import WirelessEnvironment
+from repro.sim.metrics import DeviceSlotRecord, SimulationResult
+from repro.sim.mobility import CoverageMap, ServiceArea
+from repro.sim.runner import run_many, run_simulation
+from repro.sim.scenario import (
+    DeviceSpec,
+    Scenario,
+    dynamic_join_leave_scenario,
+    dynamic_leave_scenario,
+    mobility_scenario,
+    setting1_scenario,
+    setting2_scenario,
+)
+
+__all__ = [
+    "ConstantDelayModel",
+    "CoverageMap",
+    "DelayModel",
+    "DeviceSlotRecord",
+    "DeviceSpec",
+    "EmpiricalDelayModel",
+    "Event",
+    "EventQueue",
+    "NoDelayModel",
+    "Scenario",
+    "ServiceArea",
+    "SimulationEngine",
+    "SimulationResult",
+    "WirelessEnvironment",
+    "dynamic_join_leave_scenario",
+    "dynamic_leave_scenario",
+    "mobility_scenario",
+    "run_many",
+    "run_simulation",
+    "setting1_scenario",
+    "setting2_scenario",
+]

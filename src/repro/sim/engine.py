@@ -1,0 +1,191 @@
+"""A small discrete-event simulation engine.
+
+The paper's evaluation is built on SimPy; this module provides the minimal
+event-calendar core needed to drive the slotted wireless simulation without any
+external dependency.  It supports timestamped events with priorities, callback
+handlers, periodic event generators and a stop condition.
+
+The engine is deliberately generic: the wireless environment registers a
+periodic "slot boundary" event and performs all per-slot work in its handler,
+but tests also use the engine directly to validate ordering semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    priority: int
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass
+class Event:
+    """A scheduled event.
+
+    Parameters
+    ----------
+    time:
+        Simulation time at which the event fires.
+    callback:
+        Callable invoked as ``callback(engine, event)`` when the event fires.
+    priority:
+        Events at the same time fire in increasing priority order (then FIFO).
+    payload:
+        Arbitrary data attached to the event.
+    name:
+        Optional label for tracing/debugging.
+    """
+
+    time: float
+    callback: Callable[["SimulationEngine", "Event"], None]
+    priority: int = 0
+    payload: Any = None
+    name: str = ""
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of events ordered by (time, priority, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[_QueueEntry] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        entry = _QueueEntry(
+            time=event.time,
+            priority=event.priority,
+            sequence=next(self._counter),
+            event=event,
+        )
+        heapq.heappush(self._heap, entry)
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap).event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next (non-cancelled) event, or ``None`` if empty."""
+        while self._heap and self._heap[0].event.cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class SimulationEngine:
+    """Discrete-event simulation loop.
+
+    Typical use::
+
+        engine = SimulationEngine()
+        engine.schedule(0.0, handler)
+        engine.run(until=100.0)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self.events_processed = 0
+
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[["SimulationEngine", Event], None],
+        priority: int = 0,
+        payload: Any = None,
+        name: str = "",
+    ) -> Event:
+        """Schedule an event at absolute simulation ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event in the past (time={time}, now={self.now})"
+            )
+        event = Event(time=time, callback=callback, priority=priority, payload=payload, name=name)
+        self._queue.push(event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[["SimulationEngine", Event], None],
+        priority: int = 0,
+        payload: Any = None,
+        name: str = "",
+    ) -> Event:
+        """Schedule an event ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule(self.now + delay, callback, priority, payload, name)
+
+    def schedule_periodic(
+        self,
+        start: float,
+        interval: float,
+        callback: Callable[["SimulationEngine", Event], None],
+        priority: int = 0,
+        name: str = "",
+    ) -> None:
+        """Schedule ``callback`` at ``start`` and every ``interval`` thereafter.
+
+        The periodic chain stops automatically when the engine stops; each
+        firing reschedules the next occurrence.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+
+        def periodic_wrapper(engine: "SimulationEngine", event: Event) -> None:
+            callback(engine, event)
+            if engine._running:
+                engine.schedule(event.time + interval, periodic_wrapper, priority, None, name)
+
+        self.schedule(start, periodic_wrapper, priority, None, name)
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._running = False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events until the queue is empty, ``until`` is reached or stopped.
+
+        Events scheduled exactly at ``until`` are still processed (closed
+        interval), matching the slotted-horizon semantics used by the runner.
+        """
+        self._running = True
+        processed = 0
+        while self._running:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(self, event)
+            processed += 1
+            self.events_processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        self._running = False

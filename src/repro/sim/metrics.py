@@ -1,0 +1,170 @@
+"""Per-run result containers and derived per-device metrics.
+
+A :class:`SimulationResult` stores, for every device and every slot, the chosen
+network, the observed bit rate, the switching delay, the selection probability
+vector and whether the device was active.  All evaluation metrics of the paper
+(switch counts, cumulative download, fairness, stability, distance to Nash
+equilibrium) are derived from these records by :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.game.network import Network
+
+#: Value stored in the ``choices`` array when a device is inactive in a slot.
+NO_NETWORK = -1
+
+
+@dataclass(frozen=True)
+class DeviceSlotRecord:
+    """A single (device, slot) observation — used by trace-driven simulation."""
+
+    slot: int
+    device_id: int
+    network_id: int
+    bit_rate_mbps: float
+    delay_s: float
+    switched: bool
+
+
+@dataclass
+class SimulationResult:
+    """Full record of one simulation run.
+
+    Attributes
+    ----------
+    scenario_name:
+        Name of the scenario that produced this run.
+    seed:
+        Seed of the run's random generator.
+    num_slots:
+        Horizon in slots.
+    slot_duration_s:
+        Length of one slot in seconds (15 s in the paper).
+    networks:
+        Networks of the scenario, keyed by id.
+    device_ids:
+        All device ids, in ascending order.
+    policy_names:
+        Policy used by each device.
+    choices:
+        ``device_id -> int array (num_slots,)`` of chosen network ids
+        (:data:`NO_NETWORK` when inactive).
+    rates_mbps:
+        ``device_id -> float array`` of observed bit rates.
+    delays_s:
+        ``device_id -> float array`` of switching delays charged in each slot.
+    switches:
+        ``device_id -> bool array``; True in slots where the device switched.
+    active:
+        ``device_id -> bool array``; True when the device is in the service area.
+    probabilities:
+        ``device_id -> float array (num_slots, num_networks)`` with the policy's
+        selection probabilities in network-id order (column order given by
+        ``network_order``).
+    resets:
+        ``device_id -> int`` number of resets performed by the policy.
+    """
+
+    scenario_name: str
+    seed: int
+    num_slots: int
+    slot_duration_s: float
+    networks: dict[int, Network]
+    device_ids: tuple[int, ...]
+    policy_names: dict[int, str]
+    choices: dict[int, np.ndarray]
+    rates_mbps: dict[int, np.ndarray]
+    delays_s: dict[int, np.ndarray]
+    switches: dict[int, np.ndarray]
+    active: dict[int, np.ndarray]
+    probabilities: dict[int, np.ndarray]
+    resets: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def network_order(self) -> tuple[int, ...]:
+        """Network ids in the column order used by ``probabilities``."""
+        return tuple(sorted(self.networks))
+
+    def switch_count(self, device_id: int) -> int:
+        """Total number of network switches performed by a device."""
+        return int(np.sum(self.switches[device_id]))
+
+    def total_switches(self) -> int:
+        return sum(self.switch_count(d) for d in self.device_ids)
+
+    def mean_switches_per_device(self, device_ids: Sequence[int] | None = None) -> float:
+        ids = tuple(device_ids) if device_ids is not None else self.device_ids
+        if not ids:
+            return 0.0
+        return float(np.mean([self.switch_count(d) for d in ids]))
+
+    def download_mb(self, device_id: int) -> float:
+        """Cumulative download of a device in megabytes.
+
+        Per slot the device downloads ``rate · (slot_duration − delay)`` Mbit;
+        inactive slots contribute nothing (rate is recorded as 0 there).
+        """
+        rates = self.rates_mbps[device_id]
+        delays = self.delays_s[device_id]
+        effective = np.clip(self.slot_duration_s - delays, 0.0, None)
+        megabits = float(np.sum(rates * effective))
+        return megabits / 8.0
+
+    def downloads_mb(self, device_ids: Sequence[int] | None = None) -> np.ndarray:
+        ids = tuple(device_ids) if device_ids is not None else self.device_ids
+        return np.asarray([self.download_mb(d) for d in ids], dtype=float)
+
+    def switching_cost_mb(self, device_id: int) -> float:
+        """Download lost to switching delays, in megabytes."""
+        rates = self.rates_mbps[device_id]
+        delays = self.delays_s[device_id]
+        lost_megabits = float(np.sum(rates * np.clip(delays, 0.0, self.slot_duration_s)))
+        return lost_megabits / 8.0
+
+    def active_gains_at(self, slot_index: int) -> dict[int, float]:
+        """Observed bit rates of all devices active at a 0-based slot index."""
+        gains: dict[int, float] = {}
+        for device_id in self.device_ids:
+            if self.active[device_id][slot_index]:
+                gains[device_id] = float(self.rates_mbps[device_id][slot_index])
+        return gains
+
+    def allocation_at(self, slot_index: int) -> dict[int, int]:
+        """Number of active devices per network at a 0-based slot index."""
+        counts: dict[int, int] = {network_id: 0 for network_id in self.networks}
+        for device_id in self.device_ids:
+            if self.active[device_id][slot_index]:
+                network_id = int(self.choices[device_id][slot_index])
+                if network_id != NO_NETWORK:
+                    counts[network_id] += 1
+        return counts
+
+    def devices_with_policy(self, policy_name: str) -> tuple[int, ...]:
+        return tuple(
+            device_id
+            for device_id in self.device_ids
+            if self.policy_names[device_id] == policy_name
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Headline per-run metrics (used by quickstart and reporting)."""
+        downloads = self.downloads_mb()
+        return {
+            "num_devices": float(len(self.device_ids)),
+            "num_slots": float(self.num_slots),
+            "mean_switches": self.mean_switches_per_device(),
+            "median_download_mb": float(np.median(downloads)) if downloads.size else 0.0,
+            "std_download_mb": float(np.std(downloads)) if downloads.size else 0.0,
+            "total_download_gb": float(np.sum(downloads)) / 1024.0,
+        }
+
+
+def aggregate_allocation(results: Mapping[int, int]) -> tuple[int, ...]:
+    """Stable, hashable representation of an allocation (sorted by network id)."""
+    return tuple(results[network_id] for network_id in sorted(results))

@@ -1,0 +1,87 @@
+"""Service areas and coverage maps.
+
+Figure 1 of the paper shows devices in three service areas (food court, study
+area, bus stop) with overlapping coverage of five networks.  A
+:class:`ServiceArea` lists the networks visible from that area and a
+:class:`CoverageMap` resolves, for a device at a given slot, which networks it
+can select (its strategy set ``K_j``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.game.device import Device
+
+
+@dataclass(frozen=True)
+class ServiceArea:
+    """A named region with a fixed set of visible networks."""
+
+    name: str
+    network_ids: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("service area name must be non-empty")
+        if not self.network_ids:
+            raise ValueError(f"service area {self.name!r} must expose at least one network")
+
+
+@dataclass
+class CoverageMap:
+    """Maps service areas to visible networks and devices to areas over time.
+
+    Parameters
+    ----------
+    areas:
+        The service areas of the scenario.  A scenario without mobility uses a
+        single area (``default_area``) covering every network.
+    default_area:
+        Area used for devices with no explicit area schedule.
+    """
+
+    areas: dict[str, ServiceArea] = field(default_factory=dict)
+    default_area: str = "default"
+
+    @classmethod
+    def single_area(cls, network_ids: Iterable[int], name: str = "default") -> "CoverageMap":
+        """Coverage map with one area exposing every network (settings 1 and 2)."""
+        area = ServiceArea(name=name, network_ids=frozenset(network_ids))
+        return cls(areas={name: area}, default_area=name)
+
+    @classmethod
+    def from_area_networks(
+        cls,
+        area_networks: Mapping[str, Iterable[int]],
+        default_area: str,
+    ) -> "CoverageMap":
+        """Coverage map from a mapping area-name -> visible network ids."""
+        areas = {
+            name: ServiceArea(name=name, network_ids=frozenset(ids))
+            for name, ids in area_networks.items()
+        }
+        if default_area not in areas:
+            raise ValueError(f"default_area {default_area!r} is not one of the areas")
+        return cls(areas=areas, default_area=default_area)
+
+    def add_area(self, area: ServiceArea) -> None:
+        self.areas[area.name] = area
+
+    def area_of(self, device: Device, slot: int) -> ServiceArea:
+        """Area the device occupies at ``slot``."""
+        name = device.area_at(slot, default=self.default_area)
+        if name not in self.areas:
+            raise KeyError(f"unknown service area {name!r} for device {device.device_id}")
+        return self.areas[name]
+
+    def visible_networks(self, device: Device, slot: int) -> frozenset[int]:
+        """Networks the device can select at ``slot`` (its strategy set)."""
+        return self.area_of(device, slot).network_ids
+
+    def all_network_ids(self) -> frozenset[int]:
+        ids: set[int] = set()
+        for area in self.areas.values():
+            ids |= area.network_ids
+        return frozenset(ids)

@@ -1,0 +1,219 @@
+"""Simulated "in the wild" experiment (Section VII-B substitution).
+
+The paper downloads a 500 MB file in a coffee shop, choosing between a public
+WiFi network and a tethered cellular connection whose background load is not
+under the experimenter's control, and reports that Smart EXP3 finishes about
+18 % (1.2×) faster than Greedy on average over 12 runs each.
+
+We cannot reproduce the coffee shop, so :class:`WildEnvironment` models two
+networks whose *available* bandwidth is modulated by uncontrolled background
+load — a mean-reverting random walk plus occasional bursts — and
+:func:`run_wild_download` replays the same protocol: the device runs its
+selection policy slot by slot until the file is fully downloaded and the
+completion time is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import Observation, PolicyContext
+from repro.algorithms.registry import create_policy
+from repro.game.gain import scale_gain
+from repro.game.network import Network, NetworkType
+from repro.sim.delay import EmpiricalDelayModel
+
+#: Network ids used by the wild environment.
+WILD_WIFI_ID = 0
+WILD_CELLULAR_ID = 1
+
+
+@dataclass
+class WildEnvironment:
+    """Two public networks with uncontrolled, time-varying background load.
+
+    Each slot, the available rate of network ``i`` is
+    ``nominal_i · (1 − load_i(t))`` where ``load_i`` follows a mean-reverting
+    random walk in ``[0, max_load]`` with occasional bursts (other patrons
+    starting large transfers).
+    """
+
+    wifi_nominal_mbps: float = 9.0
+    cellular_nominal_mbps: float = 7.0
+    max_load: float = 0.9
+    load_volatility: float = 0.05
+    quiet_load: float = 0.15
+    busy_load: float = 0.8
+    busy_start_probability: float = 0.05
+    busy_end_probability: float = 0.02
+    slot_duration_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.wifi_nominal_mbps <= 0 or self.cellular_nominal_mbps <= 0:
+            raise ValueError("nominal bandwidths must be positive")
+        if not 0.0 < self.max_load < 1.0:
+            raise ValueError("max_load must be in (0, 1)")
+        if self.slot_duration_s <= 0:
+            raise ValueError("slot_duration_s must be positive")
+
+    def networks(self) -> dict[int, Network]:
+        return {
+            WILD_WIFI_ID: Network(
+                network_id=WILD_WIFI_ID,
+                bandwidth_mbps=self.wifi_nominal_mbps,
+                network_type=NetworkType.WIFI,
+                name="coffee-shop-wifi",
+            ),
+            WILD_CELLULAR_ID: Network(
+                network_id=WILD_CELLULAR_ID,
+                bandwidth_mbps=self.cellular_nominal_mbps,
+                network_type=NetworkType.CELLULAR,
+                name="tethered-cellular",
+            ),
+        }
+
+    def generate_rates(
+        self, num_slots: int, rng: np.random.Generator
+    ) -> dict[int, np.ndarray]:
+        """Per-slot available rates (Mbps) of both networks.
+
+        Each network alternates between "quiet" and "busy" periods (a two-state
+        Markov chain with geometric durations of a few minutes), which is the
+        behaviour the paper attributes to other patrons' uncontrolled
+        transfers: whichever network looked better at the start of a download
+        may become the worse one for a long stretch before the download ends.
+        """
+        rates: dict[int, np.ndarray] = {}
+        nominals = {
+            WILD_WIFI_ID: self.wifi_nominal_mbps,
+            WILD_CELLULAR_ID: self.cellular_nominal_mbps,
+        }
+        for network_id, nominal in nominals.items():
+            busy = bool(rng.random() < 0.3)
+            series = np.zeros(num_slots, dtype=float)
+            for slot in range(num_slots):
+                if busy and rng.random() < self.busy_end_probability:
+                    busy = False
+                elif not busy and rng.random() < self.busy_start_probability:
+                    busy = True
+                target = self.busy_load if busy else self.quiet_load
+                load = float(
+                    np.clip(
+                        target + rng.normal(0.0, self.load_volatility),
+                        0.0,
+                        self.max_load,
+                    )
+                )
+                series[slot] = nominal * (1.0 - load)
+            rates[network_id] = series
+        return rates
+
+
+@dataclass(frozen=True)
+class WildRunResult:
+    """Outcome of a single in-the-wild download."""
+
+    policy: str
+    seed: int
+    completed: bool
+    download_mb: float
+    elapsed_minutes: float
+    switches: int
+    per_slot_rate_mbps: np.ndarray
+
+
+def run_wild_download(
+    policy_name: str,
+    seed: int,
+    file_size_mb: float = 500.0,
+    environment: WildEnvironment | None = None,
+    max_slots: int = 400,
+    policy_kwargs: dict | None = None,
+) -> WildRunResult:
+    """Download ``file_size_mb`` using ``policy_name``; report the completion time.
+
+    The download ends when the file completes or after ``max_slots`` slots
+    (100 simulated minutes by default), whichever comes first.
+    """
+    if file_size_mb <= 0:
+        raise ValueError("file_size_mb must be positive")
+    env = environment if environment is not None else WildEnvironment()
+    rng = np.random.default_rng(seed)
+    rates = env.generate_rates(max_slots, rng)
+    networks = env.networks()
+    delay_model = EmpiricalDelayModel()
+    max_rate = max(env.wifi_nominal_mbps, env.cellular_nominal_mbps)
+
+    context = PolicyContext(
+        network_ids=(WILD_WIFI_ID, WILD_CELLULAR_ID),
+        rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
+        slot_duration_s=env.slot_duration_s,
+        network_bandwidths={i: n.bandwidth_mbps for i, n in networks.items()},
+        device_index=0,
+        num_devices=1,
+    )
+    policy = create_policy(policy_name, context, **(policy_kwargs or {}))
+
+    downloaded_mb = 0.0
+    elapsed_s = 0.0
+    switches = 0
+    previous: int | None = None
+    observed = np.zeros(max_slots, dtype=float)
+    completed = False
+
+    for slot in range(1, max_slots + 1):
+        choice = policy.begin_slot(slot)
+        switched = previous is not None and choice != previous
+        delay = delay_model.sample(networks[choice], rng) if switched else 0.0
+        delay = min(delay, env.slot_duration_s)
+        if switched:
+            switches += 1
+        rate = float(rates[choice][slot - 1])
+        observed[slot - 1] = rate
+        usable_s = env.slot_duration_s - delay
+        slot_download_mb = rate * usable_s / 8.0
+        remaining_mb = file_size_mb - downloaded_mb
+        if slot_download_mb >= remaining_mb:
+            # The file finishes partway through this slot.
+            needed_s = delay + remaining_mb * 8.0 / rate if rate > 0 else env.slot_duration_s
+            elapsed_s += min(needed_s, env.slot_duration_s)
+            downloaded_mb = file_size_mb
+            completed = True
+            policy.end_slot(
+                slot,
+                Observation(
+                    slot=slot,
+                    network_id=choice,
+                    bit_rate_mbps=rate,
+                    gain=scale_gain(rate, max_rate),
+                    switched=switched,
+                    delay_s=delay,
+                ),
+            )
+            break
+        downloaded_mb += slot_download_mb
+        elapsed_s += env.slot_duration_s
+        policy.end_slot(
+            slot,
+            Observation(
+                slot=slot,
+                network_id=choice,
+                bit_rate_mbps=rate,
+                gain=scale_gain(rate, max_rate),
+                switched=switched,
+                delay_s=delay,
+            ),
+        )
+        previous = choice
+
+    return WildRunResult(
+        policy=policy_name,
+        seed=seed,
+        completed=completed,
+        download_mb=downloaded_mb,
+        elapsed_minutes=elapsed_s / 60.0,
+        switches=switches,
+        per_slot_rate_mbps=observed,
+    )

@@ -1,0 +1,26 @@
+"""Theoretical results of Section IV: switch bound, regret bound, replicator dynamics.
+
+* :mod:`repro.theory.bounds` — closed forms of Theorem 2 (expected number of
+  network switches) and Theorem 3 (expected weak regret).
+* :mod:`repro.theory.regret` — empirical weak regret and switch counts from
+  simulation results, for comparison against the bounds.
+* :mod:`repro.theory.replicator` — the replicator-dynamics drift of the proof
+  of Theorem 1, used to check that Smart EXP3's probability updates follow the
+  same dynamics as EXP3 when γ is small.
+"""
+
+from repro.theory.bounds import (
+    expected_switches_bound,
+    weak_regret_bound,
+)
+from repro.theory.regret import empirical_switches, empirical_weak_regret
+from repro.theory.replicator import expected_probability_drift, exp3_probability_after_update
+
+__all__ = [
+    "empirical_switches",
+    "empirical_weak_regret",
+    "exp3_probability_after_update",
+    "expected_probability_drift",
+    "expected_switches_bound",
+    "weak_regret_bound",
+]

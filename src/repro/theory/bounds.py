@@ -1,0 +1,104 @@
+"""Closed-form bounds of Theorems 2 and 3.
+
+Theorem 2 bounds the expected number of network switches over a horizon ``T``:
+
+    E[S(T)] < (T / τ) · 3 k log(τ / t_d + 1) / log(1 + β)
+
+Theorem 3 bounds the expected weak regret:
+
+    E[R(T)] ≤ (T t_d / τ) · ((1 + γ l (e − 2)) G_max(τ) + k ln k / γ)
+             + (T µ_d µ_g / τ) · 3 k log(τ / t_d + 1) / log(1 + β)
+
+These functions evaluate the bounds for given parameters so experiments and
+tests can compare empirical behaviour against them.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def expected_switches_bound(
+    horizon_slots: float,
+    num_networks: int,
+    beta: float,
+    slot_duration_s: float = 1.0,
+    reset_period_s: float | None = None,
+) -> float:
+    """Upper bound on the expected number of switches (Theorem 2).
+
+    Parameters
+    ----------
+    horizon_slots:
+        Stopping time ``T`` expressed in slots.
+    num_networks:
+        Number of networks ``k``.
+    beta:
+        Block-growth parameter β ∈ (0, 1].
+    slot_duration_s:
+        Slot duration ``t_d``.  The bound only depends on ``τ / t_d``; the
+        default of 1 treats the reset period as a number of slots.
+    reset_period_s:
+        Reset period ``τ`` in the same unit as ``slot_duration_s``.  ``None``
+        means "no reset" (τ = T · t_d), which gives the simplified form quoted
+        in the paper.
+    """
+    if horizon_slots <= 0:
+        raise ValueError("horizon_slots must be positive")
+    if num_networks <= 0:
+        raise ValueError("num_networks must be positive")
+    if not 0.0 < beta <= 1.0:
+        raise ValueError("beta must be in (0, 1]")
+    if slot_duration_s <= 0:
+        raise ValueError("slot_duration_s must be positive")
+    horizon_s = horizon_slots * slot_duration_s
+    tau = reset_period_s if reset_period_s is not None else horizon_s
+    if tau <= 0:
+        raise ValueError("reset_period_s must be positive")
+    slots_per_period = tau / slot_duration_s
+    per_period = 3.0 * num_networks * math.log(slots_per_period + 1.0) / math.log(1.0 + beta)
+    periods = horizon_s / tau
+    return periods * per_period
+
+
+def weak_regret_bound(
+    horizon_slots: float,
+    num_networks: int,
+    beta: float,
+    gamma: float,
+    max_block_length: float,
+    gain_best_per_period: float,
+    mean_delay_s: float,
+    mean_gain: float,
+    slot_duration_s: float = 1.0,
+    reset_period_s: float | None = None,
+) -> float:
+    """Upper bound on the expected weak regret (Theorem 3).
+
+    ``gain_best_per_period`` is ``G_max(τ)``: the cumulative (scaled) gain of
+    always playing the best network in hindsight over one reset period,
+    measured in block-gain units.  ``mean_delay_s`` (µ_d) and ``mean_gain``
+    (µ_g) weight the switching term exactly as in the theorem.
+    """
+    if not 0.0 < gamma <= 1.0:
+        raise ValueError("gamma must be in (0, 1]")
+    if max_block_length < 1:
+        raise ValueError("max_block_length must be >= 1")
+    if gain_best_per_period < 0:
+        raise ValueError("gain_best_per_period must be >= 0")
+    if mean_delay_s < 0 or mean_gain < 0:
+        raise ValueError("mean delay and mean gain must be >= 0")
+    horizon_s = horizon_slots * slot_duration_s
+    tau = reset_period_s if reset_period_s is not None else horizon_s
+    if tau <= 0:
+        raise ValueError("reset_period_s must be positive")
+    periods = horizon_s / tau
+    e_minus_2 = math.e - 2.0
+    learning_term = (
+        (1.0 + gamma * max_block_length * e_minus_2) * gain_best_per_period
+        + num_networks * math.log(num_networks) / gamma
+    )
+    switch_term = mean_delay_s * mean_gain * (
+        3.0 * num_networks * math.log(tau / slot_duration_s + 1.0) / math.log(1.0 + beta)
+    )
+    return periods * slot_duration_s * learning_term + periods * switch_term

@@ -1,0 +1,68 @@
+"""Empirical weak regret and switch counts from simulation results.
+
+Weak regret (Definition 1) is the difference between the cumulative goodput of
+always selecting the best network in hindsight and the cumulative goodput the
+policy actually achieved, where goodput charges switching delays.  These
+functions compute the empirical quantities that Theorems 2 and 3 bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.metrics import SimulationResult
+
+
+def empirical_switches(result: SimulationResult, device_id: int | None = None) -> int:
+    """Number of network switches in a run (one device or all devices)."""
+    if device_id is not None:
+        return result.switch_count(device_id)
+    return result.total_switches()
+
+
+def _best_in_hindsight_goodput_mb(result: SimulationResult, device_id: int) -> float:
+    """Goodput of always using the single best network, in megabytes.
+
+    The counterfactual keeps the realised per-slot per-network rates: for each
+    network we sum the rate the device would have observed had it been
+    associated with that network in every slot it was active, assuming the
+    association never changes (so no switching delay is charged).  For networks
+    the device did not sample in a slot, the fair-share estimate from the
+    recorded allocation is used.
+    """
+    active = result.active[device_id]
+    best_megabits = 0.0
+    for network_id, network in result.networks.items():
+        total_megabits = 0.0
+        for slot_index in np.flatnonzero(active):
+            allocation = result.allocation_at(int(slot_index))
+            chosen = int(result.choices[device_id][slot_index])
+            if chosen == network_id:
+                rate = float(result.rates_mbps[device_id][slot_index])
+            else:
+                # Joining this network would add one more client.
+                rate = network.shared_rate(allocation.get(network_id, 0) + 1)
+            total_megabits += rate * result.slot_duration_s
+        best_megabits = max(best_megabits, total_megabits)
+    return best_megabits / 8.0
+
+
+def empirical_weak_regret(result: SimulationResult, device_id: int) -> float:
+    """Empirical weak regret of one device, in megabytes of download.
+
+    Positive values mean the best fixed network in hindsight would have
+    downloaded more than the policy did (including what the policy lost to
+    switching delays).
+    """
+    achieved_mb = result.download_mb(device_id)
+    best_mb = _best_in_hindsight_goodput_mb(result, device_id)
+    return best_mb - achieved_mb
+
+
+def switches_within_bound(
+    result: SimulationResult,
+    bound: float,
+    device_id: int | None = None,
+) -> bool:
+    """Whether the empirical switch count respects a Theorem-2 bound."""
+    return empirical_switches(result, device_id) <= bound

@@ -1,0 +1,68 @@
+"""Replicator dynamics of the convergence proof (Theorem 1 / Appendix A).
+
+The proof shows that, as γ → 0, the expected change of the probability of
+network ``i`` under Smart EXP3's update is
+
+    ξ_i = (p_i / k) · Σ_j p_j (g_i − g_j),
+
+which is the same replicator equation as for EXP3, so the convergence result
+of Kleinberg–Piliouras–Tardos carries over.  :func:`expected_probability_drift`
+evaluates the right-hand side and :func:`exp3_probability_after_update`
+computes the exact post-update probability for a single observed gain, so tests
+can verify the drift numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def expected_probability_drift(
+    probabilities: Sequence[float],
+    gains: Sequence[float],
+    network_index: int,
+) -> float:
+    """Replicator drift ξ_i = (p_i / k) Σ_j p_j (g_i − g_j)."""
+    p = np.asarray(list(probabilities), dtype=float)
+    g = np.asarray(list(gains), dtype=float)
+    if p.shape != g.shape:
+        raise ValueError("probabilities and gains must have the same length")
+    if not np.isclose(float(np.sum(p)), 1.0, atol=1e-6):
+        raise ValueError("probabilities must sum to 1")
+    if not 0 <= network_index < p.size:
+        raise IndexError("network_index out of range")
+    k = p.size
+    drift = p[network_index] / k * float(np.sum(p * (g[network_index] - g)))
+    return float(drift)
+
+
+def exp3_probability_after_update(
+    weights: Sequence[float],
+    gamma: float,
+    chosen_index: int,
+    gain: float,
+    network_index: int,
+) -> float:
+    """Probability of ``network_index`` after one EXP3 update.
+
+    The device sampled ``chosen_index`` with the EXP3 mixture probability and
+    observed ``gain`` in [0, 1]; only the chosen network's weight is updated
+    with the importance-weighted estimate.  Used by tests to approximate the
+    derivative dp_i/dγ and compare it with the replicator drift.
+    """
+    w = np.asarray(list(weights), dtype=float)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    if not 0.0 <= gain <= 1.0:
+        raise ValueError("gain must be in [0, 1]")
+    if not 0.0 < gamma <= 1.0:
+        raise ValueError("gamma must be in (0, 1]")
+    k = w.size
+    probabilities = (1.0 - gamma) * w / float(np.sum(w)) + gamma / k
+    estimated = gain / probabilities[chosen_index]
+    new_weights = w.copy()
+    new_weights[chosen_index] *= float(np.exp(gamma * estimated / k))
+    new_probabilities = (1.0 - gamma) * new_weights / float(np.sum(new_weights)) + gamma / k
+    return float(new_probabilities[network_index])

@@ -1,0 +1,262 @@
+"""Unit tests for the baseline policies: EXP3, Greedy, Full Information,
+Centralized, Fixed Random, and the policy registry."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import PolicyContext
+from repro.algorithms.centralized import CentralizedPolicy
+from repro.algorithms.exp3 import EXP3Policy
+from repro.algorithms.fixed_random import FixedRandomPolicy
+from repro.algorithms.full_information import FullInformationPolicy
+from repro.algorithms.greedy import GreedyPolicy
+from repro.algorithms.registry import available_policies, create_policy, register_policy
+
+from tests.conftest import make_context, make_observation
+
+
+class TestPolicyBase:
+    def test_requires_networks(self):
+        with pytest.raises(ValueError):
+            EXP3Policy(PolicyContext(network_ids=(), rng=np.random.default_rng(0)))
+
+    def test_update_available_networks_rejects_empty(self):
+        policy = EXP3Policy(make_context())
+        with pytest.raises(ValueError):
+            policy.update_available_networks(frozenset())
+
+    def test_probabilities_sum_to_one(self):
+        policy = EXP3Policy(make_context())
+        assert sum(policy.probabilities.values()) == pytest.approx(1.0)
+
+
+class TestEXP3:
+    def test_initial_distribution_uniform(self):
+        policy = EXP3Policy(make_context())
+        policy.begin_slot(1)
+        probs = policy.probabilities
+        assert all(p == pytest.approx(1.0 / 3.0) for p in probs.values())
+
+    def test_weight_increases_only_for_observed_network(self):
+        policy = EXP3Policy(make_context(), gamma=0.1)
+        chosen = policy.begin_slot(1)
+        before = policy.weights
+        policy.end_slot(1, make_observation(1, chosen, gain=1.0))
+        after = policy.weights
+        assert after[chosen] > before[chosen]
+        for other in set(after) - {chosen}:
+            assert after[other] == pytest.approx(before[other])
+
+    def test_zero_gain_keeps_weight(self):
+        policy = EXP3Policy(make_context(), gamma=0.1)
+        chosen = policy.begin_slot(1)
+        before = policy.weights[chosen]
+        policy.end_slot(1, make_observation(1, chosen, gain=0.0))
+        assert policy.weights[chosen] == pytest.approx(before)
+
+    def test_converges_to_best_arm_single_player(self):
+        policy = EXP3Policy(make_context(seed=3))
+        best = 2
+        for slot in range(1, 600):
+            chosen = policy.begin_slot(slot)
+            gain = 1.0 if chosen == best else 0.1
+            policy.end_slot(slot, make_observation(slot, chosen, gain=gain))
+        assert policy.probabilities[best] > 0.6
+
+    def test_mismatched_observation_rejected(self):
+        policy = EXP3Policy(make_context())
+        chosen = policy.begin_slot(1)
+        wrong = next(i for i in policy.available_networks if i != chosen)
+        with pytest.raises(ValueError):
+            policy.end_slot(1, make_observation(1, wrong, gain=0.5))
+
+    def test_out_of_range_gain_rejected(self):
+        policy = EXP3Policy(make_context())
+        chosen = policy.begin_slot(1)
+        with pytest.raises(ValueError):
+            policy.end_slot(1, make_observation(1, chosen, gain=1.5))
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            EXP3Policy(make_context(), gamma=0.0)
+
+    def test_new_network_gets_max_weight(self):
+        policy = EXP3Policy(make_context(network_ids=(0, 1)), gamma=0.2)
+        for slot in range(1, 30):
+            chosen = policy.begin_slot(slot)
+            policy.end_slot(slot, make_observation(slot, chosen, gain=1.0 if chosen == 1 else 0.0))
+        policy.update_available_networks({0, 1, 2})
+        weights = policy.weights
+        assert weights[2] == pytest.approx(max(weights[0], weights[1]))
+
+    def test_removed_network_dropped(self):
+        policy = EXP3Policy(make_context())
+        policy.update_available_networks({0, 1})
+        assert set(policy.weights) == {0, 1}
+        assert set(policy.probabilities) == {0, 1}
+
+
+class TestGreedy:
+    def test_explores_each_network_once_first(self):
+        policy = GreedyPolicy(make_context())
+        seen = []
+        for slot in range(1, 4):
+            chosen = policy.begin_slot(slot)
+            seen.append(chosen)
+            policy.end_slot(slot, make_observation(slot, chosen, gain=0.1 * (chosen + 1)))
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_then_picks_highest_average(self):
+        policy = GreedyPolicy(make_context())
+        gains = {0: 0.2, 1: 0.9, 2: 0.4}
+        for slot in range(1, 4):
+            chosen = policy.begin_slot(slot)
+            policy.end_slot(slot, make_observation(slot, chosen, gain=gains[chosen]))
+        assert policy.begin_slot(4) == 1
+
+    def test_average_gain_updates(self):
+        policy = GreedyPolicy(make_context())
+        for slot in range(1, 4):
+            chosen = policy.begin_slot(slot)
+            policy.end_slot(slot, make_observation(slot, chosen, gain=0.5))
+        assert policy.average_gains == pytest.approx({0: 0.5, 1: 0.5, 2: 0.5})
+
+    def test_switches_away_when_average_degrades(self):
+        policy = GreedyPolicy(make_context(seed=11))
+        gains = {0: 0.3, 1: 0.8, 2: 0.5}
+        for slot in range(1, 4):
+            chosen = policy.begin_slot(slot)
+            policy.end_slot(slot, make_observation(slot, chosen, gain=gains[chosen]))
+        # Network 1 degrades badly; its running average eventually falls below 2's.
+        for slot in range(4, 40):
+            chosen = policy.begin_slot(slot)
+            gain = 0.05 if chosen == 1 else gains[chosen]
+            policy.end_slot(slot, make_observation(slot, chosen, gain=gain))
+        assert policy.begin_slot(40) == 2
+
+    def test_new_network_is_explored(self):
+        policy = GreedyPolicy(make_context(network_ids=(0, 1)))
+        for slot in range(1, 3):
+            chosen = policy.begin_slot(slot)
+            policy.end_slot(slot, make_observation(slot, chosen, gain=0.5))
+        policy.update_available_networks({0, 1, 2})
+        chosen = policy.begin_slot(3)
+        assert chosen == 2
+
+    def test_probabilities_degenerate_after_exploration(self):
+        policy = GreedyPolicy(make_context())
+        for slot in range(1, 4):
+            chosen = policy.begin_slot(slot)
+            policy.end_slot(slot, make_observation(slot, chosen, gain=0.1 * (chosen + 1)))
+        probs = policy.probabilities
+        assert max(probs.values()) == 1.0
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+
+class TestFullInformation:
+    def test_requires_full_feedback(self):
+        policy = FullInformationPolicy(make_context())
+        chosen = policy.begin_slot(1)
+        with pytest.raises(ValueError):
+            policy.end_slot(1, make_observation(1, chosen, gain=0.5))
+
+    def test_learns_from_counterfactuals(self):
+        policy = FullInformationPolicy(make_context(seed=5))
+        feedback = {0: 0.1, 1: 0.2, 2: 0.9}
+        for slot in range(1, 200):
+            chosen = policy.begin_slot(slot)
+            policy.end_slot(
+                slot,
+                make_observation(slot, chosen, gain=feedback[chosen], full_feedback=feedback),
+            )
+        assert policy.probabilities[2] > 0.8
+
+    def test_flag_set(self):
+        assert FullInformationPolicy.needs_full_feedback is True
+
+    def test_invalid_eta_rejected(self):
+        with pytest.raises(ValueError):
+            FullInformationPolicy(make_context(), eta=-0.5)
+
+
+class TestCentralized:
+    def test_assignments_form_nash_equilibrium(self):
+        num_devices = 20
+        counts = {0: 0, 1: 0, 2: 0}
+        for index in range(num_devices):
+            policy = CentralizedPolicy(
+                make_context(device_index=index, num_devices=num_devices)
+            )
+            counts[policy.assignment] += 1
+        assert counts == {0: 2, 1: 4, 2: 14}
+
+    def test_never_switches(self):
+        policy = CentralizedPolicy(make_context(device_index=0, num_devices=4))
+        first = policy.begin_slot(1)
+        policy.end_slot(1, make_observation(1, first, gain=0.5))
+        assert policy.begin_slot(2) == first
+
+    def test_requires_bandwidths(self):
+        context = PolicyContext(network_ids=(0, 1), rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            CentralizedPolicy(context)
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ValueError):
+            CentralizedPolicy(make_context(device_index=5, num_devices=3))
+
+
+class TestFixedRandom:
+    def test_never_switches(self):
+        policy = FixedRandomPolicy(make_context(seed=9))
+        choices = set()
+        for slot in range(1, 50):
+            chosen = policy.begin_slot(slot)
+            choices.add(chosen)
+            policy.end_slot(slot, make_observation(slot, chosen, gain=0.1))
+        assert len(choices) == 1
+
+    def test_repicks_if_choice_disappears(self):
+        policy = FixedRandomPolicy(make_context(seed=9))
+        original = policy.choice
+        remaining = set(policy.available_networks) - {original}
+        policy.update_available_networks(remaining)
+        assert policy.begin_slot(1) in remaining
+
+
+class TestRegistry:
+    def test_all_paper_policies_registered(self):
+        names = available_policies()
+        expected = {
+            "exp3",
+            "block_exp3",
+            "hybrid_block_exp3",
+            "smart_exp3",
+            "smart_exp3_no_reset",
+            "greedy",
+            "full_information",
+            "centralized",
+            "fixed_random",
+        }
+        assert expected <= set(names)
+
+    def test_create_policy_unknown_name(self):
+        with pytest.raises(KeyError):
+            create_policy("does_not_exist", make_context())
+
+    def test_create_smart_exp3_with_kwargs(self):
+        policy = create_policy("smart_exp3", make_context(), beta=0.3)
+        assert policy.config.beta == pytest.approx(0.3)
+
+    def test_smart_exp3_no_reset_has_reset_disabled(self):
+        policy = create_policy("smart_exp3_no_reset", make_context())
+        assert policy.config.enable_reset is False
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_policy("exp3", lambda context, **kwargs: EXP3Policy(context))
+
+    def test_register_custom_policy(self):
+        register_policy("test_custom_exp3", lambda context, **kwargs: EXP3Policy(context), overwrite=True)
+        policy = create_policy("test_custom_exp3", make_context())
+        assert isinstance(policy, EXP3Policy)

@@ -1,0 +1,168 @@
+"""Tests for the analysis subpackage (stability, distance, fairness, aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import (
+    downsample_series,
+    mean_of_series,
+    mean_over_runs,
+    median_over_runs,
+    per_run_median_download_gb,
+    std_over_runs,
+    summarize_runs,
+)
+from repro.analysis.distance import (
+    distance_from_average_rate_series,
+    distance_to_nash_series,
+    fraction_of_time_at_equilibrium,
+    optimal_distance_from_average_rate,
+)
+from repro.analysis.fairness import download_std_mb, jains_index, total_available_gb, unutilized_bandwidth_gb
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.stability import stability_report, time_to_stable
+from repro.sim.runner import run_simulation
+from repro.sim.scenario import setting1_scenario
+
+
+@pytest.fixture(scope="module")
+def converged_run():
+    """A longer Smart EXP3 w/o Reset run that should reach a stable state."""
+    scenario = setting1_scenario(policy="smart_exp3_no_reset", num_devices=10, horizon_slots=600)
+    return run_simulation(scenario, seed=0)
+
+
+@pytest.fixture(scope="module")
+def short_exp3_run():
+    scenario = setting1_scenario(policy="exp3", num_devices=10, horizon_slots=200)
+    return run_simulation(scenario, seed=0)
+
+
+class TestStability:
+    def test_converged_run_is_stable(self, converged_run):
+        report = stability_report(converged_run)
+        assert report.stable
+        assert report.stable_slot is not None
+        assert 1 <= report.stable_slot <= converged_run.num_slots
+        assert sum(report.final_allocation.values()) == len(converged_run.device_ids)
+
+    def test_exp3_is_not_stable(self, short_exp3_run):
+        report = stability_report(short_exp3_run)
+        assert not report.stable
+        assert time_to_stable(short_exp3_run) is None
+
+    def test_threshold_one_is_strictest(self, converged_run):
+        strict = stability_report(converged_run, threshold=1.0)
+        loose = stability_report(converged_run, threshold=0.5)
+        assert loose.stable or not strict.stable
+
+
+class TestDistanceSeries:
+    def test_series_length_and_nonnegativity(self, converged_run):
+        series = distance_to_nash_series(converged_run)
+        assert series.shape == (converged_run.num_slots,)
+        assert np.all(series >= 0.0)
+
+    def test_converged_run_ends_near_equilibrium(self, converged_run):
+        series = distance_to_nash_series(converged_run)
+        assert np.mean(series[-100:]) < np.mean(series[:100])
+
+    def test_fraction_at_equilibrium_bounds(self, converged_run):
+        series = distance_to_nash_series(converged_run)
+        fraction = fraction_of_time_at_equilibrium(series)
+        assert 0.0 <= fraction <= 1.0
+        assert fraction_of_time_at_equilibrium(np.zeros(10)) == 1.0
+        assert fraction_of_time_at_equilibrium(np.full(10, 50.0)) == 0.0
+
+    def test_report_subset_restricts_max(self, converged_run):
+        full = distance_to_nash_series(converged_run)
+        subset = distance_to_nash_series(
+            converged_run, report_device_ids=converged_run.device_ids[:3]
+        )
+        assert np.all(subset <= full + 1e-9)
+
+    def test_distance_from_average_rate(self, converged_run):
+        series = distance_from_average_rate_series(converged_run)
+        assert series.shape == (converged_run.num_slots,)
+        assert np.all(series >= 0.0)
+        assert np.all(series <= 100.0)
+
+    def test_optimal_distance_from_average_rate(self, three_networks):
+        value = optimal_distance_from_average_rate(
+            {n.network_id: n for n in three_networks}, 14
+        )
+        assert 0.0 <= value < 100.0
+        with pytest.raises(ValueError):
+            optimal_distance_from_average_rate(three_networks, 0)
+
+
+class TestFairness:
+    def test_download_std_nonnegative(self, converged_run):
+        assert download_std_mb(converged_run) >= 0.0
+
+    def test_jains_index_bounds(self):
+        assert jains_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert jains_index([1.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+        assert jains_index([]) == 1.0
+        with pytest.raises(ValueError):
+            jains_index([-1.0, 1.0])
+
+    def test_total_available_matches_paper_for_full_run(self):
+        """33 Mbps over 1200 slots of 15 s is the paper's 74.25 GB."""
+        scenario = setting1_scenario(policy="fixed_random", num_devices=2, horizon_slots=1200)
+        result = run_simulation(scenario, seed=0)
+        assert total_available_gb(result) == pytest.approx(74.25, rel=0.001)
+
+    def test_unutilized_bandwidth_nonnegative(self, converged_run):
+        assert unutilized_bandwidth_gb(converged_run) >= 0.0
+
+
+class TestAggregation:
+    def test_scalar_aggregators(self):
+        values = [1.0, 2.0, 3.0, None]
+        assert mean_over_runs(values) == pytest.approx(2.0)
+        assert median_over_runs(values) == pytest.approx(2.0)
+        assert std_over_runs([2.0, 2.0]) == pytest.approx(0.0)
+        assert np.isnan(mean_over_runs([]))
+
+    def test_mean_of_series(self):
+        series = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        assert np.allclose(mean_of_series(series), [2.0, 3.0])
+        with pytest.raises(ValueError):
+            mean_of_series([np.array([1.0]), np.array([1.0, 2.0])])
+        assert mean_of_series([]).size == 0
+
+    def test_downsample_series(self):
+        series = np.arange(100, dtype=float)
+        down = downsample_series(series, points=10)
+        assert down.shape == (10,)
+        assert np.all(np.diff(down) > 0)
+        short = downsample_series(np.array([1.0, 2.0]), points=10)
+        assert short.shape == (2,)
+        with pytest.raises(ValueError):
+            downsample_series(series, points=0)
+
+    def test_summarize_runs(self, converged_run):
+        value = summarize_runs([converged_run], per_run_median_download_gb)
+        assert value > 0.0
+        with pytest.raises(ValueError):
+            summarize_runs([], per_run_median_download_gb)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [
+            {"algorithm": "exp3", "switches": 641.0},
+            {"algorithm": "smart_exp3", "switches": 65.2},
+        ]
+        text = format_table(rows, title="Fig 2")
+        assert "Fig 2" in text
+        assert "exp3" in text and "smart_exp3" in text
+        assert "641.0" in text
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([])
+
+    def test_format_series(self):
+        text = format_series({"smart": [1.0, 2.0, 3.0], "greedy": [3.0, 2.0, 1.0]}, step=2)
+        assert "smart" in text and "greedy" in text

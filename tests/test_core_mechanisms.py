@@ -1,0 +1,312 @@
+"""Unit tests for Smart EXP3's four mechanism modules (blocking, greedy gate,
+switch-back, reset) and its configuration object."""
+
+import pytest
+
+from repro.core.blocking import Block, BlockScheduler, SelectionType
+from repro.core.config import SmartEXP3Config
+from repro.core.greedy_policy import GainTracker, GreedyGate
+from repro.core.reset import DropDetector, ResetPolicy
+from repro.core.switchback import BlockHistory, SwitchBackRule
+
+
+class TestBlockScheduler:
+    def test_block_length_grows_geometrically(self):
+        scheduler = BlockScheduler(beta=0.1)
+        lengths = [scheduler.record_selection(0) for _ in range(30)]
+        assert lengths[0] == 1
+        assert lengths == sorted(lengths)
+        assert lengths[-1] == pytest.approx(int(-(-1.1 ** 29 // 1)), abs=1)
+
+    def test_block_length_formula(self):
+        scheduler = BlockScheduler(beta=0.5)
+        scheduler.record_selection(3)
+        scheduler.record_selection(3)
+        # x = 2 -> ceil(1.5^2) = 3
+        assert scheduler.block_length(3) == 3
+
+    def test_counts_are_per_network(self):
+        scheduler = BlockScheduler(beta=0.1)
+        scheduler.record_selection(0)
+        scheduler.record_selection(0)
+        scheduler.record_selection(1)
+        assert scheduler.selection_count(0) == 2
+        assert scheduler.selection_count(1) == 1
+        assert scheduler.selection_count(2) == 0
+
+    def test_reset_clears_counts(self):
+        scheduler = BlockScheduler(beta=0.1)
+        for _ in range(10):
+            scheduler.record_selection(0)
+        scheduler.reset()
+        assert scheduler.block_length(0) == 1
+
+    def test_forget_network(self):
+        scheduler = BlockScheduler(beta=0.1)
+        scheduler.record_selection(0)
+        scheduler.forget_network(0)
+        assert scheduler.selection_count(0) == 0
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            BlockScheduler(beta=0.0)
+        with pytest.raises(ValueError):
+            BlockScheduler(beta=1.5)
+
+
+class TestBlock:
+    def test_gain_accumulation_and_completion(self):
+        block = Block(index=1, network_id=0, length=3,
+                      selection_type=SelectionType.RANDOM, probability=0.5)
+        block.record_gain(0.2)
+        block.record_gain(0.3)
+        assert not block.is_complete
+        block.record_gain(0.1)
+        assert block.is_complete
+        assert block.total_gain == pytest.approx(0.6)
+
+    def test_truncate_completes_block(self):
+        block = Block(index=1, network_id=0, length=10,
+                      selection_type=SelectionType.RANDOM, probability=0.5)
+        block.record_gain(0.2)
+        block.truncate()
+        assert block.is_complete
+
+    def test_recording_on_complete_block_rejected(self):
+        block = Block(index=1, network_id=0, length=1,
+                      selection_type=SelectionType.RANDOM, probability=0.5)
+        block.record_gain(0.2)
+        with pytest.raises(RuntimeError):
+            block.record_gain(0.2)
+
+    def test_invalid_gain_rejected(self):
+        block = Block(index=1, network_id=0, length=2,
+                      selection_type=SelectionType.RANDOM, probability=0.5)
+        with pytest.raises(ValueError):
+            block.record_gain(1.2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Block(index=0, network_id=0, length=1,
+                  selection_type=SelectionType.RANDOM, probability=0.5)
+        with pytest.raises(ValueError):
+            Block(index=1, network_id=0, length=0,
+                  selection_type=SelectionType.RANDOM, probability=0.5)
+        with pytest.raises(ValueError):
+            Block(index=1, network_id=0, length=1,
+                  selection_type=SelectionType.RANDOM, probability=0.0)
+
+
+class TestGainTracker:
+    def test_average(self):
+        tracker = GainTracker()
+        tracker.record(0, 0.2)
+        tracker.record(0, 0.4)
+        assert tracker.average(0) == pytest.approx(0.3)
+        assert tracker.observations(0) == 2
+
+    def test_unobserved_network_has_zero_average(self):
+        assert GainTracker().average(5) == 0.0
+
+    def test_best_network(self):
+        tracker = GainTracker()
+        tracker.record(0, 0.2)
+        tracker.record(1, 0.8)
+        tracker.record(2, 0.5)
+        assert tracker.best_network([0, 1, 2]) == 1
+
+    def test_best_network_ignores_unobserved(self):
+        tracker = GainTracker()
+        tracker.record(0, 0.2)
+        assert tracker.best_network([0, 1]) == 0
+        assert tracker.best_network([1]) is None
+
+    def test_reset_and_forget(self):
+        tracker = GainTracker()
+        tracker.record(0, 0.2)
+        tracker.forget_network(0)
+        assert tracker.observations(0) == 0
+        tracker.record(1, 0.3)
+        tracker.reset()
+        assert tracker.observations(1) == 0
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ValueError):
+            GainTracker().record(0, -0.1)
+
+
+class TestGreedyGate:
+    def test_open_when_distribution_near_uniform(self):
+        gate = GreedyGate()
+        probs = {0: 0.34, 1: 0.33, 2: 0.33}
+        assert gate.allows_greedy(probs, top_network_block_length=1)
+
+    def test_closes_when_distribution_concentrates(self):
+        gate = GreedyGate()
+        probs = {0: 0.9, 1: 0.05, 2: 0.05}
+        assert not gate.allows_greedy(probs, top_network_block_length=10)
+        assert gate.latched_length == 10
+
+    def test_reopens_after_reset_when_block_length_shrinks(self):
+        gate = GreedyGate()
+        concentrated = {0: 0.9, 1: 0.05, 2: 0.05}
+        assert not gate.allows_greedy(concentrated, top_network_block_length=10)
+        # After a reset, block lengths start from 1 again: below the latched 10.
+        assert gate.allows_greedy(concentrated, top_network_block_length=1)
+
+    def test_single_network_never_greedy(self):
+        gate = GreedyGate()
+        assert not gate.allows_greedy({0: 1.0}, top_network_block_length=1)
+
+    def test_empty_distribution(self):
+        assert not GreedyGate().allows_greedy({}, top_network_block_length=1)
+
+
+class TestSwitchBackRule:
+    def _history(self, network_id=1, gains=(0.5, 0.5, 0.5)):
+        history = BlockHistory(network_id=network_id, window=8)
+        for gain in gains:
+            history.record(gain)
+        return history
+
+    def test_switches_back_when_new_network_worse(self):
+        rule = SwitchBackRule()
+        assert rule.should_switch_back(
+            first_slot_gain=0.2,
+            current_network=0,
+            previous_block=self._history(),
+            current_block_is_switch_back=False,
+            previous_block_was_switch_back=False,
+        )
+
+    def test_stays_when_new_network_better(self):
+        rule = SwitchBackRule()
+        assert not rule.should_switch_back(
+            first_slot_gain=0.9,
+            current_network=0,
+            previous_block=self._history(),
+            current_block_is_switch_back=False,
+            previous_block_was_switch_back=False,
+        )
+
+    def test_no_switch_back_without_history(self):
+        rule = SwitchBackRule()
+        assert not rule.should_switch_back(0.1, 0, None, False, False)
+
+    def test_no_consecutive_switch_backs(self):
+        rule = SwitchBackRule()
+        assert not rule.should_switch_back(0.2, 0, self._history(), True, False)
+        assert not rule.should_switch_back(0.2, 0, self._history(), False, True)
+
+    def test_same_network_never_switches_back(self):
+        rule = SwitchBackRule()
+        assert not rule.should_switch_back(0.2, 1, self._history(network_id=1), False, False)
+
+    def test_majority_better_condition(self):
+        # Average is dragged down by one bad slot but most slots were better.
+        history = self._history(gains=(0.6, 0.6, 0.6, 0.0))
+        rule = SwitchBackRule()
+        assert rule.should_switch_back(0.46, 0, history, False, False)
+
+    def test_history_window_limits_memory(self):
+        history = BlockHistory(network_id=1, window=3)
+        for gain in (0.9, 0.1, 0.1, 0.1):
+            history.record(gain)
+        assert history.average_gain == pytest.approx(0.1)
+        assert len(history.gains) == 3
+
+
+class TestDropDetectorAndResetPolicy:
+    def test_no_drop_on_stable_gain(self):
+        detector = DropDetector()
+        assert not any(detector.observe(0, 0.5) for _ in range(30))
+
+    def test_detects_sustained_drop(self):
+        detector = DropDetector(drop_fraction=0.15, min_connection_slots=4, window_slots=5)
+        for _ in range(10):
+            assert not detector.observe(0, 0.5)
+        fired = [detector.observe(0, 0.3) for _ in range(6)]
+        assert any(fired)
+
+    def test_single_slot_dip_ignored(self):
+        detector = DropDetector(window_slots=5)
+        for _ in range(10):
+            detector.observe(0, 0.5)
+        assert not detector.observe(0, 0.1)
+
+    def test_changing_network_restarts_detector(self):
+        detector = DropDetector(window_slots=2, min_connection_slots=2)
+        for _ in range(10):
+            detector.observe(0, 0.5)
+        detector.observe(1, 0.5)
+        assert detector.connection_length == 1
+
+    def test_small_drop_below_threshold_ignored(self):
+        detector = DropDetector(drop_fraction=0.15)
+        for _ in range(10):
+            detector.observe(0, 0.5)
+        assert not any(detector.observe(0, 0.46) for _ in range(10))
+
+    def test_clear(self):
+        detector = DropDetector()
+        detector.observe(0, 0.5)
+        detector.clear()
+        assert detector.connection_length == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DropDetector(drop_fraction=0.0)
+        with pytest.raises(ValueError):
+            DropDetector(min_connection_slots=0)
+        with pytest.raises(ValueError):
+            DropDetector(window_slots=0)
+        with pytest.raises(ValueError):
+            DropDetector(reference_window_slots=1, min_connection_slots=4)
+
+    def test_periodic_reset_condition(self):
+        policy = ResetPolicy(probability_threshold=0.75, block_length_threshold=40)
+        assert policy.should_periodic_reset({0: 0.8, 1: 0.1, 2: 0.1}, top_network_block_length=45)
+        assert not policy.should_periodic_reset({0: 0.8, 1: 0.1, 2: 0.1}, top_network_block_length=10)
+        assert not policy.should_periodic_reset({0: 0.5, 1: 0.3, 2: 0.2}, top_network_block_length=45)
+
+    def test_drop_reset_requires_most_used_network(self):
+        policy = ResetPolicy()
+        for _ in range(10):
+            policy.observe_slot(0, 0.5, is_most_used=True)
+        dropped = [policy.observe_slot(0, 0.2, is_most_used=False) for _ in range(6)]
+        assert not any(dropped)
+
+
+class TestSmartEXP3Config:
+    def test_defaults_match_paper(self):
+        config = SmartEXP3Config.full()
+        assert config.beta == pytest.approx(0.1)
+        assert config.reset_probability_threshold == pytest.approx(0.75)
+        assert config.reset_block_length_threshold == 40
+        assert config.drop_fraction == pytest.approx(0.15)
+        assert config.switchback_window == 8
+        assert config.greedy_probability == pytest.approx(0.5)
+
+    def test_variant_flags(self):
+        assert SmartEXP3Config.without_reset().enable_reset is False
+        hybrid = SmartEXP3Config.hybrid_block_exp3()
+        assert hybrid.enable_greedy and not hybrid.enable_switchback and not hybrid.enable_reset
+        block = SmartEXP3Config.block_exp3()
+        assert not block.enable_greedy and not block.enable_initial_exploration
+
+    def test_replace(self):
+        config = SmartEXP3Config.full().replace(beta=0.3)
+        assert config.beta == pytest.approx(0.3)
+        assert config.enable_reset is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmartEXP3Config(beta=0.0)
+        with pytest.raises(ValueError):
+            SmartEXP3Config(fixed_gamma=2.0)
+        with pytest.raises(ValueError):
+            SmartEXP3Config(drop_fraction=1.0)
+        with pytest.raises(ValueError):
+            SmartEXP3Config(greedy_probability=0.0)
+        with pytest.raises(ValueError):
+            SmartEXP3Config(reset_block_length_threshold=0)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.game.device."""
+
+import pytest
+
+from repro.game.device import Device, DeviceGroup, make_devices
+
+
+class TestDevice:
+    def test_defaults(self):
+        device = Device(device_id=0)
+        assert device.join_slot == 1
+        assert device.leave_slot is None
+        assert device.is_active(1)
+        assert device.is_active(10_000)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Device(device_id=-1)
+
+    def test_join_before_slot_one_rejected(self):
+        with pytest.raises(ValueError):
+            Device(device_id=0, join_slot=0)
+
+    def test_leave_before_join_rejected(self):
+        with pytest.raises(ValueError):
+            Device(device_id=0, join_slot=100, leave_slot=50)
+
+    def test_presence_window(self):
+        device = Device(device_id=0, join_slot=401, leave_slot=800)
+        assert not device.is_active(400)
+        assert device.is_active(401)
+        assert device.is_active(800)
+        assert not device.is_active(801)
+
+    def test_area_schedule_lookup(self):
+        device = Device(
+            device_id=0,
+            area_schedule={1: "food_court", 401: "study_area", 801: "bus_stop"},
+        )
+        assert device.area_at(1) == "food_court"
+        assert device.area_at(400) == "food_court"
+        assert device.area_at(401) == "study_area"
+        assert device.area_at(800) == "study_area"
+        assert device.area_at(801) == "bus_stop"
+        assert device.area_at(1200) == "bus_stop"
+
+    def test_area_defaults_when_no_schedule(self):
+        device = Device(device_id=0)
+        assert device.area_at(5, default="everywhere") == "everywhere"
+
+    def test_invalid_area_schedule_slot_rejected(self):
+        with pytest.raises(ValueError):
+            Device(device_id=0, area_schedule={0: "nowhere"})
+
+
+class TestDeviceGroup:
+    def test_membership_and_len(self):
+        group = DeviceGroup(name="movers", device_ids=(1, 2, 3))
+        assert 2 in group
+        assert 9 not in group
+        assert len(group) == 3
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceGroup(name="empty", device_ids=())
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceGroup(name="dup", device_ids=(1, 1))
+
+
+class TestMakeDevices:
+    def test_count_and_ids(self):
+        devices = make_devices(5)
+        assert len(devices) == 5
+        assert [d.device_id for d in devices] == list(range(5))
+
+    def test_shared_presence_window(self):
+        devices = make_devices(3, join_slot=10, leave_slot=20)
+        assert all(d.join_slot == 10 and d.leave_slot == 20 for d in devices)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            make_devices(0)

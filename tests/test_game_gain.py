@@ -1,0 +1,90 @@
+"""Unit tests for repro.game.gain."""
+
+import numpy as np
+import pytest
+
+from repro.game.gain import EqualShareModel, NoisyShareModel, scale_gain, unscale_gain
+from repro.game.network import Network
+
+
+class TestScaling:
+    def test_scale_gain_basic(self):
+        assert scale_gain(11.0, 22.0) == pytest.approx(0.5)
+        assert scale_gain(0.0, 22.0) == 0.0
+
+    def test_scale_gain_clips_to_one(self):
+        assert scale_gain(44.0, 22.0) == 1.0
+
+    def test_scale_gain_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            scale_gain(1.0, 0.0)
+        with pytest.raises(ValueError):
+            scale_gain(-1.0, 22.0)
+
+    def test_unscale_round_trip(self):
+        assert unscale_gain(scale_gain(7.0, 22.0), 22.0) == pytest.approx(7.0)
+
+    def test_unscale_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            unscale_gain(1.5, 22.0)
+
+
+class TestEqualShareModel:
+    def test_single_client_gets_full_bandwidth(self, rng):
+        model = EqualShareModel()
+        network = Network(network_id=0, bandwidth_mbps=22.0)
+        rates = model.rates(network, (7,), slot=1, rng=rng)
+        assert rates == {7: 22.0}
+
+    def test_multiple_clients_share_equally(self, rng):
+        model = EqualShareModel()
+        network = Network(network_id=0, bandwidth_mbps=22.0)
+        rates = model.rates(network, (1, 2, 3, 4), slot=1, rng=rng)
+        assert all(rate == pytest.approx(5.5) for rate in rates.values())
+        assert set(rates) == {1, 2, 3, 4}
+
+    def test_no_clients_returns_empty(self, rng):
+        model = EqualShareModel()
+        network = Network(network_id=0, bandwidth_mbps=22.0)
+        assert model.rates(network, (), slot=1, rng=rng) == {}
+
+    def test_rate_for_unknown_device_raises(self, rng):
+        model = EqualShareModel()
+        network = Network(network_id=0, bandwidth_mbps=22.0)
+        with pytest.raises(KeyError):
+            model.rate_for(network, (1, 2), device_id=3, slot=1, rng=rng)
+
+
+class TestNoisyShareModel:
+    def test_rates_are_positive_and_cover_all_clients(self, rng):
+        model = NoisyShareModel()
+        network = Network(network_id=0, bandwidth_mbps=10.0)
+        rates = model.rates(network, (1, 2, 3), slot=5, rng=rng)
+        assert set(rates) == {1, 2, 3}
+        assert all(rate > 0 for rate in rates.values())
+
+    def test_total_close_to_bandwidth_on_average(self, rng):
+        model = NoisyShareModel(rate_noise_std=0.05, dip_probability=0.0)
+        network = Network(network_id=0, bandwidth_mbps=10.0)
+        totals = [
+            sum(model.rates(network, (1, 2, 3, 4), slot=s, rng=rng).values())
+            for s in range(300)
+        ]
+        assert np.mean(totals) == pytest.approx(10.0, rel=0.1)
+
+    def test_shares_are_unequal(self, rng):
+        model = NoisyShareModel(share_concentration=2.0, rate_noise_std=0.0, dip_probability=0.0)
+        network = Network(network_id=0, bandwidth_mbps=10.0)
+        rates = model.rates(network, (1, 2, 3, 4), slot=1, rng=rng)
+        values = list(rates.values())
+        assert max(values) - min(values) > 1e-6
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyShareModel(rate_noise_std=-1.0)
+        with pytest.raises(ValueError):
+            NoisyShareModel(share_concentration=0.0)
+        with pytest.raises(ValueError):
+            NoisyShareModel(dip_probability=1.5)
+        with pytest.raises(ValueError):
+            NoisyShareModel(dip_factor=0.0)

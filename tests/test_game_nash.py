@@ -1,0 +1,150 @@
+"""Unit tests for the congestion game and Nash-equilibrium computations."""
+
+import numpy as np
+import pytest
+
+from repro.game.congestion_game import Allocation, NetworkSelectionGame, StrategyProfile
+from repro.game.nash import (
+    best_response,
+    distance_to_nash,
+    is_epsilon_equilibrium,
+    is_nash_equilibrium,
+    nash_equilibrium_allocation,
+    nash_gain_profile,
+)
+from repro.game.network import make_networks
+
+
+class TestStrategyProfileAndAllocation:
+    def test_counts(self):
+        profile = StrategyProfile(choices={0: 2, 1: 2, 2: 1})
+        assert profile.counts() == {2: 2, 1: 1}
+
+    def test_with_deviation(self):
+        profile = StrategyProfile(choices={0: 2, 1: 2})
+        deviated = profile.with_deviation(0, 1)
+        assert deviated.network_of(0) == 1
+        assert profile.network_of(0) == 2  # original unchanged
+
+    def test_with_deviation_unknown_device(self):
+        profile = StrategyProfile(choices={0: 2})
+        with pytest.raises(KeyError):
+            profile.with_deviation(5, 1)
+
+    def test_allocation_from_profile_and_gains(self, three_networks):
+        profile = StrategyProfile(choices={0: 2, 1: 2, 2: 0})
+        allocation = Allocation.from_profile(profile)
+        networks = {n.network_id: n for n in three_networks}
+        gains = allocation.gains(networks)
+        assert gains[2] == pytest.approx(11.0)
+        assert gains[0] == pytest.approx(4.0)
+
+    def test_allocation_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation(counts={0: -1})
+
+
+class TestNetworkSelectionGame:
+    def test_requires_networks(self):
+        with pytest.raises(ValueError):
+            NetworkSelectionGame([])
+
+    def test_duplicate_network_ids_rejected(self, three_networks):
+        with pytest.raises(ValueError):
+            NetworkSelectionGame(three_networks + [three_networks[0]])
+
+    def test_gain_under_profile(self, three_networks):
+        game = NetworkSelectionGame(three_networks)
+        profile = StrategyProfile(choices={0: 2, 1: 2, 2: 1})
+        assert game.gain(profile, 0) == pytest.approx(11.0)
+        assert game.gain(profile, 2) == pytest.approx(7.0)
+
+    def test_total_and_max_bandwidth(self, three_networks):
+        game = NetworkSelectionGame(three_networks)
+        assert game.total_bandwidth_mbps == pytest.approx(33.0)
+        assert game.max_bandwidth_mbps == pytest.approx(22.0)
+
+    def test_cumulative_goodput_charges_delay(self, three_networks):
+        game = NetworkSelectionGame(three_networks)
+        goodput = game.cumulative_goodput([4.0, 4.0], [0.0, 5.0], slot_duration_s=15.0)
+        assert goodput == pytest.approx(4.0 * 15.0 + 4.0 * 10.0)
+
+    def test_cumulative_goodput_rejects_bad_slot(self, three_networks):
+        game = NetworkSelectionGame(three_networks)
+        with pytest.raises(ValueError):
+            game.cumulative_goodput([1.0], [0.0], slot_duration_s=0.0)
+
+
+class TestNashEquilibrium:
+    def test_setting1_equilibrium_is_2_4_14(self, three_networks):
+        allocation = nash_equilibrium_allocation(three_networks, 20)
+        assert allocation.counts == {0: 2, 1: 4, 2: 14}
+
+    def test_setting2_equilibrium_is_balanced(self, uniform_networks):
+        allocation = nash_equilibrium_allocation(uniform_networks, 21)
+        assert sorted(allocation.counts.values()) == [7, 7, 7]
+
+    def test_equilibrium_allocation_is_nash(self, three_networks):
+        allocation = nash_equilibrium_allocation(three_networks, 20)
+        assert is_nash_equilibrium(three_networks, allocation)
+
+    def test_non_equilibrium_detected(self, three_networks):
+        assert not is_nash_equilibrium(three_networks, {0: 0, 1: 5, 2: 15})
+
+    def test_epsilon_equilibrium_is_weaker(self, three_networks):
+        allocation = {0: 1, 1: 4, 2: 15}
+        assert not is_nash_equilibrium(three_networks, allocation)
+        # The best deviation gains less than 1 Mbps relative to staying.
+        assert is_epsilon_equilibrium(three_networks, allocation, epsilon=1.0)
+
+    def test_negative_epsilon_rejected(self, three_networks):
+        with pytest.raises(ValueError):
+            is_epsilon_equilibrium(three_networks, {0: 1}, epsilon=-0.1)
+
+    def test_zero_devices(self, three_networks):
+        allocation = nash_equilibrium_allocation(three_networks, 0)
+        assert allocation.total_devices() == 0
+
+    def test_best_response_prefers_empty_fast_network(self, three_networks):
+        choice = best_response(three_networks, {0: 0, 1: 0, 2: 0})
+        assert choice == 2  # 22 Mbps alone beats the others
+
+    def test_best_response_tie_prefers_current(self):
+        networks = make_networks([10.0, 10.0])
+        choice = best_response(networks, {0: 1, 1: 1}, current_network=1)
+        assert choice == 1
+
+    def test_gain_profile_sorted(self, three_networks):
+        profile = nash_gain_profile(three_networks, 20)
+        assert len(profile) == 20
+        assert np.all(np.diff(profile) >= -1e-12)
+
+
+class TestDistanceToNash:
+    def test_paper_example(self):
+        """Three devices with gains (1, 1, 4) against a (2, 2, 2) equilibrium -> 100 %."""
+        networks = make_networks([2.0, 4.0])
+        distance = distance_to_nash(networks, [1.0, 1.0, 4.0])
+        assert distance == pytest.approx(100.0)
+
+    def test_distance_zero_at_equilibrium(self, three_networks):
+        gains = nash_gain_profile(three_networks, 20)
+        assert distance_to_nash(three_networks, gains.tolist()) == pytest.approx(0.0)
+
+    def test_distance_never_negative(self, three_networks):
+        # Every device doing better than its equilibrium share yields 0, not negative.
+        assert distance_to_nash(three_networks, [30.0, 30.0]) == 0.0
+
+    def test_empty_gains(self, three_networks):
+        assert distance_to_nash(three_networks, []) == 0.0
+
+    def test_zero_gain_with_positive_target_is_infinite(self, three_networks):
+        assert np.isinf(distance_to_nash(three_networks, [0.0] * 20))
+
+    def test_negative_gain_rejected(self, three_networks):
+        with pytest.raises(ValueError):
+            distance_to_nash(three_networks, [-1.0])
+
+    def test_num_devices_fewer_than_gains_rejected(self, three_networks):
+        with pytest.raises(ValueError):
+            distance_to_nash(three_networks, [1.0, 1.0], num_devices=1)

@@ -1,0 +1,80 @@
+"""Unit tests for repro.game.network."""
+
+import pytest
+
+from repro.game.network import Network, NetworkType, make_networks
+
+
+class TestNetwork:
+    def test_valid_construction(self):
+        network = Network(network_id=3, bandwidth_mbps=22.0)
+        assert network.network_id == 3
+        assert network.bandwidth_mbps == 22.0
+        assert network.network_type is NetworkType.WIFI
+
+    def test_default_name_includes_type_and_id(self):
+        network = Network(network_id=5, bandwidth_mbps=7.0, network_type=NetworkType.CELLULAR)
+        assert network.name == "cellular-5"
+
+    def test_explicit_name_is_kept(self):
+        network = Network(network_id=0, bandwidth_mbps=4.0, name="food-court-ap")
+        assert network.name == "food-court-ap"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Network(network_id=-1, bandwidth_mbps=4.0)
+
+    def test_non_positive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Network(network_id=0, bandwidth_mbps=0.0)
+        with pytest.raises(ValueError):
+            Network(network_id=0, bandwidth_mbps=-3.0)
+
+    def test_shared_rate_divides_equally(self):
+        network = Network(network_id=0, bandwidth_mbps=22.0)
+        assert network.shared_rate(1) == 22.0
+        assert network.shared_rate(2) == 11.0
+        assert network.shared_rate(4) == pytest.approx(5.5)
+
+    def test_shared_rate_with_zero_clients_is_full_bandwidth(self):
+        network = Network(network_id=0, bandwidth_mbps=7.0)
+        assert network.shared_rate(0) == 7.0
+
+    def test_shared_rate_negative_clients_rejected(self):
+        network = Network(network_id=0, bandwidth_mbps=7.0)
+        with pytest.raises(ValueError):
+            network.shared_rate(-1)
+
+    def test_network_is_hashable_and_frozen(self):
+        network = Network(network_id=0, bandwidth_mbps=4.0)
+        assert network in {network}
+        with pytest.raises(AttributeError):
+            network.bandwidth_mbps = 9.0  # type: ignore[misc]
+
+
+class TestMakeNetworks:
+    def test_ids_are_consecutive_from_start(self):
+        networks = make_networks([4.0, 7.0, 22.0], start_id=1)
+        assert [n.network_id for n in networks] == [1, 2, 3]
+
+    def test_highest_bandwidth_defaults_to_cellular(self):
+        networks = make_networks([4.0, 7.0, 22.0])
+        assert networks[2].network_type is NetworkType.CELLULAR
+        assert networks[0].network_type is NetworkType.WIFI
+
+    def test_single_network_is_wifi(self):
+        networks = make_networks([5.0])
+        assert networks[0].network_type is NetworkType.WIFI
+
+    def test_explicit_types_respected(self):
+        types = [NetworkType.CELLULAR, NetworkType.WIFI]
+        networks = make_networks([10.0, 20.0], types=types)
+        assert [n.network_type for n in networks] == types
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            make_networks([])
+
+    def test_mismatched_types_length_rejected(self):
+        with pytest.raises(ValueError):
+            make_networks([4.0, 7.0], types=[NetworkType.WIFI])

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocking import BlockScheduler
+from repro.core.smart_exp3 import SmartEXP3Policy
+from repro.game.nash import (
+    is_nash_equilibrium,
+    nash_equilibrium_allocation,
+    nash_gain_profile,
+)
+from repro.game.network import Network, make_networks
+from repro.game.gain import scale_gain
+from repro.theory.bounds import expected_switches_bound
+from repro.theory.replicator import expected_probability_drift
+
+from tests.conftest import make_context, make_observation
+
+bandwidth_lists = st.lists(
+    st.floats(min_value=0.5, max_value=100.0, allow_nan=False), min_size=1, max_size=6
+)
+
+
+class TestNashProperties:
+    @given(bandwidths=bandwidth_lists, devices=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_allocation_is_always_nash(self, bandwidths, devices):
+        networks = make_networks(bandwidths)
+        allocation = nash_equilibrium_allocation(networks, devices)
+        assert allocation.total_devices() == devices
+        assert is_nash_equilibrium(networks, allocation)
+
+    @given(bandwidths=bandwidth_lists, devices=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_equilibrium_gains_within_a_factor_two(self, bandwidths, devices):
+        """At equilibrium no device's gain is more than ~2x another's unless a
+        network is so slow that leaving it empty is better."""
+        networks = make_networks(bandwidths)
+        gains = nash_gain_profile(networks, devices)
+        assert len(gains) == devices
+        assert np.all(gains > 0)
+        # The max/min ratio is bounded by 2 whenever every network is occupied.
+        allocation = nash_equilibrium_allocation(networks, devices)
+        if all(count > 0 for count in allocation.counts.values()):
+            assert gains[-1] <= 2.0 * gains[0] + 1e-9
+
+    @given(
+        bandwidth=st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+        clients=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equal_share_conserves_bandwidth(self, bandwidth, clients):
+        network = Network(network_id=0, bandwidth_mbps=bandwidth)
+        assert network.shared_rate(clients) * clients == pytest.approx(bandwidth)
+
+
+class TestScalingProperties:
+    @given(
+        rate=st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+        reference=st.floats(min_value=0.1, max_value=200.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_scaled_gain_in_unit_interval(self, rate, reference):
+        gain = scale_gain(rate, reference)
+        assert 0.0 <= gain <= 1.0
+
+
+class TestBlockingProperties:
+    @given(
+        beta=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        selections=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_block_lengths_nondecreasing_and_match_formula(self, beta, selections):
+        scheduler = BlockScheduler(beta=beta)
+        lengths = [scheduler.record_selection(0) for _ in range(selections)]
+        assert all(b >= a for a, b in zip(lengths, lengths[1:]))
+        assert lengths[-1] == math.ceil((1.0 + beta) ** (selections - 1))
+
+
+class TestBoundProperties:
+    @given(
+        horizon=st.integers(min_value=10, max_value=100_000),
+        networks=st.integers(min_value=1, max_value=10),
+        beta=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_switch_bound_positive_and_monotone_in_horizon(self, horizon, networks, beta):
+        bound = expected_switches_bound(horizon, networks, beta)
+        assert bound > 0
+        assert expected_switches_bound(horizon * 2, networks, beta) >= bound
+
+
+class TestReplicatorProperties:
+    @given(
+        weights=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=5),
+        gains=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_drift_sums_to_zero_over_networks(self, weights, gains):
+        size = min(len(weights), len(gains))
+        probabilities = np.asarray(weights[:size]) / np.sum(weights[:size])
+        drifts = [
+            expected_probability_drift(probabilities.tolist(), gains[:size], i)
+            for i in range(size)
+        ]
+        assert sum(drifts) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSmartEXP3Invariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        gains=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=3, max_size=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_probabilities_always_form_distribution(self, seed, gains):
+        policy = SmartEXP3Policy(make_context(seed=seed))
+        gain_map = dict(zip(policy.available_networks, gains))
+        for slot in range(1, 40):
+            chosen = policy.begin_slot(slot)
+            assert chosen in policy.available_networks
+            probabilities = policy.probabilities
+            assert sum(probabilities.values()) == pytest.approx(1.0)
+            assert all(p >= 0.0 for p in probabilities.values())
+            policy.end_slot(slot, make_observation(slot, chosen, gain=gain_map[chosen]))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_weights_stay_positive_and_finite(self, seed):
+        policy = SmartEXP3Policy(make_context(seed=seed))
+        for slot in range(1, 120):
+            chosen = policy.begin_slot(slot)
+            gain = 1.0 if chosen == 2 else 0.0
+            policy.end_slot(slot, make_observation(slot, chosen, gain=gain))
+            weights = policy.weights
+            assert all(np.isfinite(w) and w > 0 for w in weights.values())

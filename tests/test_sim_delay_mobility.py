@@ -1,0 +1,88 @@
+"""Unit tests for the delay models and the coverage map."""
+
+import numpy as np
+import pytest
+
+from repro.game.device import Device
+from repro.game.network import Network, NetworkType
+from repro.sim.delay import ConstantDelayModel, EmpiricalDelayModel, NoDelayModel
+from repro.sim.mobility import CoverageMap, ServiceArea
+
+
+class TestDelayModels:
+    def test_no_delay_model(self, rng, wifi_network):
+        assert NoDelayModel().sample(wifi_network, rng) == 0.0
+
+    def test_constant_delay_by_type(self, rng, wifi_network, cellular_network):
+        model = ConstantDelayModel(wifi_delay_s=1.5, cellular_delay_s=4.0)
+        assert model.sample(wifi_network, rng) == 1.5
+        assert model.sample(cellular_network, rng) == 4.0
+
+    def test_constant_delay_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantDelayModel(wifi_delay_s=-1.0)
+
+    def test_empirical_delay_within_bounds(self, rng, wifi_network, cellular_network):
+        model = EmpiricalDelayModel()
+        for network in (wifi_network, cellular_network):
+            samples = [model.sample(network, rng) for _ in range(500)]
+            assert all(model.min_delay_s <= s <= model.max_delay_s for s in samples)
+
+    def test_empirical_delay_mean_is_a_few_seconds(self):
+        model = EmpiricalDelayModel()
+        wifi_mean = model.mean_delay(NetworkType.WIFI)
+        cellular_mean = model.mean_delay(NetworkType.CELLULAR)
+        assert 0.5 < wifi_mean < 6.0
+        assert 0.5 < cellular_mean < 8.0
+
+    def test_empirical_delay_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalDelayModel(max_delay_s=0.1, min_delay_s=0.2)
+        with pytest.raises(ValueError):
+            EmpiricalDelayModel(wifi_b=0.0)
+        with pytest.raises(ValueError):
+            EmpiricalDelayModel(cellular_df=-1.0)
+
+    def test_empirical_delay_is_deterministic_given_rng(self, wifi_network):
+        model = EmpiricalDelayModel()
+        a = [model.sample(wifi_network, np.random.default_rng(5)) for _ in range(5)]
+        b = [model.sample(wifi_network, np.random.default_rng(5)) for _ in range(5)]
+        assert a == b
+
+
+class TestServiceAreaAndCoverage:
+    def test_service_area_validation(self):
+        with pytest.raises(ValueError):
+            ServiceArea(name="", network_ids=frozenset({1}))
+        with pytest.raises(ValueError):
+            ServiceArea(name="empty", network_ids=frozenset())
+
+    def test_single_area_coverage(self):
+        coverage = CoverageMap.single_area([0, 1, 2])
+        device = Device(device_id=0)
+        assert coverage.visible_networks(device, 1) == frozenset({0, 1, 2})
+        assert coverage.all_network_ids() == frozenset({0, 1, 2})
+
+    def test_from_area_networks_and_mobility(self):
+        coverage = CoverageMap.from_area_networks(
+            {"food_court": (2, 3, 4), "study_area": (1, 3)}, default_area="food_court"
+        )
+        device = Device(device_id=0, area_schedule={1: "food_court", 10: "study_area"})
+        assert coverage.visible_networks(device, 5) == frozenset({2, 3, 4})
+        assert coverage.visible_networks(device, 10) == frozenset({1, 3})
+
+    def test_from_area_networks_requires_valid_default(self):
+        with pytest.raises(ValueError):
+            CoverageMap.from_area_networks({"a": (1,)}, default_area="b")
+
+    def test_unknown_area_raises(self):
+        coverage = CoverageMap.single_area([0, 1])
+        device = Device(device_id=0, area_schedule={1: "mars"})
+        with pytest.raises(KeyError):
+            coverage.visible_networks(device, 1)
+
+    def test_add_area(self):
+        coverage = CoverageMap.single_area([0, 1], name="default")
+        coverage.add_area(ServiceArea(name="annex", network_ids=frozenset({2})))
+        device = Device(device_id=0, area_schedule={1: "annex"})
+        assert coverage.visible_networks(device, 1) == frozenset({2})

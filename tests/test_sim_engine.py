@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Event, EventQueue, SimulationEngine
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        order = []
+        queue.push(Event(time=2.0, callback=lambda e, ev: None, name="b"))
+        queue.push(Event(time=1.0, callback=lambda e, ev: None, name="a"))
+        order.append(queue.pop().name)
+        order.append(queue.pop().name)
+        assert order == ["a", "b"]
+
+    def test_same_time_orders_by_priority_then_fifo(self):
+        queue = EventQueue()
+        queue.push(Event(time=1.0, callback=lambda e, ev: None, priority=5, name="low"))
+        queue.push(Event(time=1.0, callback=lambda e, ev: None, priority=0, name="high"))
+        queue.push(Event(time=1.0, callback=lambda e, ev: None, priority=0, name="high2"))
+        assert queue.pop().name == "high"
+        assert queue.pop().name == "high2"
+        assert queue.pop().name == "low"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_cancelled_events_are_skipped_by_peek(self):
+        queue = EventQueue()
+        event = Event(time=1.0, callback=lambda e, ev: None)
+        queue.push(event)
+        event.cancel()
+        assert queue.peek_time() is None
+        assert not queue
+
+
+class TestSimulationEngine:
+    def test_processes_events_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(3.0, lambda eng, ev: fired.append(("c", eng.now)))
+        engine.schedule(1.0, lambda eng, ev: fired.append(("a", eng.now)))
+        engine.schedule(2.0, lambda eng, ev: fired.append(("b", eng.now)))
+        engine.run()
+        assert [name for name, _ in fired] == ["a", "b", "c"]
+        assert [time for _, time in fired] == [1.0, 2.0, 3.0]
+
+    def test_schedule_in_past_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(ValueError):
+            engine.schedule(5.0, lambda eng, ev: None)
+
+    def test_schedule_after(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_after(4.0, lambda eng, ev: fired.append(eng.now))
+        engine.run()
+        assert fired == [4.0]
+
+    def test_schedule_after_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_after(-1.0, lambda eng, ev: None)
+
+    def test_run_until_excludes_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.schedule(t, lambda eng, ev: fired.append(eng.now))
+        engine.run(until=2.5)
+        assert fired == [1.0, 2.0]
+
+    def test_events_scheduled_during_run_are_processed(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def chain(eng, ev):
+            fired.append(eng.now)
+            if eng.now < 3.0:
+                eng.schedule(eng.now + 1.0, chain)
+
+        engine.schedule(1.0, chain)
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_periodic_scheduling(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_periodic(0.0, 5.0, lambda eng, ev: fired.append(eng.now))
+        engine.run(until=20.0)
+        assert fired == [0.0, 5.0, 10.0, 15.0, 20.0]
+
+    def test_periodic_requires_positive_interval(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_periodic(0.0, 0.0, lambda eng, ev: None)
+
+    def test_stop_halts_processing(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def stopper(eng, ev):
+            fired.append(eng.now)
+            eng.stop()
+
+        engine.schedule(1.0, stopper)
+        engine.schedule(2.0, lambda eng, ev: fired.append(eng.now))
+        engine.run()
+        assert fired == [1.0]
+
+    def test_max_events_limit(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in range(5):
+            engine.schedule(float(t), lambda eng, ev: fired.append(eng.now))
+        engine.run(max_events=3)
+        assert len(fired) == 3
+
+    def test_cancelled_event_not_fired(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda eng, ev: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for t in range(4):
+            engine.schedule(float(t), lambda eng, ev: None)
+        engine.run()
+        assert engine.events_processed == 4

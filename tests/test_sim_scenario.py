@@ -1,0 +1,163 @@
+"""Unit tests for scenario construction (paper settings 1-3 and variants)."""
+
+import pytest
+
+from repro.game.gain import NoisyShareModel
+from repro.sim.scenario import (
+    DeviceSpec,
+    Scenario,
+    dynamic_join_leave_scenario,
+    dynamic_leave_scenario,
+    mixed_policy_scenario,
+    mobility_scenario,
+    scalability_scenario,
+    setting1_scenario,
+    setting2_scenario,
+)
+from repro.sim.testbed import (
+    controlled_dynamic_scenario,
+    controlled_mixed_scenario,
+    controlled_static_scenario,
+)
+
+
+class TestStaticSettings:
+    def test_setting1_shape(self):
+        scenario = setting1_scenario()
+        assert scenario.num_devices == 20
+        assert sorted(n.bandwidth_mbps for n in scenario.networks) == [4.0, 7.0, 22.0]
+        assert scenario.horizon_slots == 1200
+        assert scenario.slot_duration_s == 15.0
+        assert scenario.total_bandwidth_mbps == pytest.approx(33.0)
+
+    def test_setting2_uniform_rates(self):
+        scenario = setting2_scenario()
+        assert all(n.bandwidth_mbps == 11.0 for n in scenario.networks)
+
+    def test_scale_reference_defaults_to_max_bandwidth(self):
+        assert setting1_scenario().scale_reference_mbps == pytest.approx(22.0)
+
+    def test_with_policy_replaces_all_devices(self):
+        scenario = setting1_scenario(policy="smart_exp3").with_policy("greedy")
+        assert all(spec.policy == "greedy" for spec in scenario.device_specs)
+
+    def test_with_horizon(self):
+        assert setting1_scenario().with_horizon(300).horizon_slots == 300
+
+    def test_custom_device_count_and_horizon(self):
+        scenario = setting1_scenario(num_devices=5, horizon_slots=100)
+        assert scenario.num_devices == 5
+        assert scenario.horizon_slots == 100
+
+    def test_scalability_scenario_preserves_total_bandwidth(self):
+        scenario = scalability_scenario(num_devices=20, num_networks=5)
+        assert scenario.total_bandwidth_mbps == pytest.approx(33.0, abs=0.1)
+        assert len(scenario.networks) == 5
+
+
+class TestDynamicSettings:
+    def test_join_leave_population(self):
+        scenario = dynamic_join_leave_scenario()
+        assert scenario.num_devices == 20
+        transient = [s.device for s in scenario.device_specs if s.device.join_slot == 401]
+        assert len(transient) == 9
+        assert all(d.leave_slot == 800 for d in transient)
+
+    def test_leave_population(self):
+        scenario = dynamic_leave_scenario()
+        leavers = [s.device for s in scenario.device_specs if s.device.leave_slot == 600]
+        assert len(leavers) == 16
+
+    def test_mobility_scenario_structure(self):
+        scenario = mobility_scenario()
+        assert len(scenario.networks) == 5
+        assert sorted(n.bandwidth_mbps for n in scenario.networks) == [4.0, 7.0, 14.0, 16.0, 22.0]
+        group_names = {g.name for g in scenario.device_groups}
+        assert any("moving" in name for name in group_names)
+        moving = next(g for g in scenario.device_groups if "moving" in g.name)
+        assert len(moving) == 8
+
+    def test_mobility_coverage_changes_with_schedule(self):
+        scenario = mobility_scenario()
+        mover = next(s.device for s in scenario.device_specs if s.device.device_id == 1)
+        early = scenario.coverage.visible_networks(mover, 100)
+        late = scenario.coverage.visible_networks(mover, 900)
+        assert early != late
+
+
+class TestMixedAndTestbedScenarios:
+    def test_mixed_policy_counts(self):
+        scenario = mixed_policy_scenario({"smart_exp3": 3, "greedy": 2})
+        policies = [spec.policy for spec in scenario.device_specs]
+        assert policies.count("smart_exp3") == 3
+        assert policies.count("greedy") == 2
+
+    def test_mixed_policy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_policy_scenario({})
+
+    def test_controlled_static_uses_noisy_gain_model(self):
+        scenario = controlled_static_scenario()
+        assert isinstance(scenario.gain_model, NoisyShareModel)
+        assert scenario.num_devices == 14
+        assert scenario.horizon_slots == 480
+
+    def test_controlled_dynamic_leavers(self):
+        scenario = controlled_dynamic_scenario(leavers=9, leave_slot=240)
+        leavers = [s.device for s in scenario.device_specs if s.device.leave_slot == 240]
+        assert len(leavers) == 9
+
+    def test_controlled_dynamic_rejects_all_leaving(self):
+        with pytest.raises(ValueError):
+            controlled_dynamic_scenario(num_devices=5, leavers=5)
+
+    def test_controlled_mixed_groups(self):
+        scenario = controlled_mixed_scenario(smart_devices=7, greedy_devices=7)
+        assert scenario.num_devices == 14
+        names = {g.name for g in scenario.device_groups}
+        assert names == {"smart_exp3", "greedy"}
+
+
+class TestScenarioValidation:
+    def test_duplicate_device_ids_rejected(self, three_networks):
+        from repro.game.device import Device
+        from repro.sim.mobility import CoverageMap
+
+        specs = [
+            DeviceSpec(device=Device(device_id=0), policy="greedy"),
+            DeviceSpec(device=Device(device_id=0), policy="greedy"),
+        ]
+        with pytest.raises(ValueError):
+            Scenario(
+                name="bad",
+                networks=three_networks,
+                device_specs=specs,
+                coverage=CoverageMap.single_area([n.network_id for n in three_networks]),
+            )
+
+    def test_coverage_must_reference_known_networks(self, three_networks):
+        from repro.game.device import Device
+        from repro.sim.mobility import CoverageMap
+
+        with pytest.raises(ValueError):
+            Scenario(
+                name="bad",
+                networks=three_networks,
+                device_specs=[DeviceSpec(device=Device(device_id=0), policy="greedy")],
+                coverage=CoverageMap.single_area([99]),
+            )
+
+    def test_requires_devices_and_networks(self, three_networks):
+        from repro.game.device import Device
+        from repro.sim.mobility import CoverageMap
+
+        coverage = CoverageMap.single_area([0])
+        with pytest.raises(ValueError):
+            Scenario(name="bad", networks=[], device_specs=[], coverage=coverage)
+        with pytest.raises(ValueError):
+            Scenario(
+                name="bad",
+                networks=three_networks,
+                device_specs=[],
+                coverage=CoverageMap.single_area([0, 1, 2]),
+            )

@@ -1,0 +1,224 @@
+"""Unit and behavioural tests for the SmartEXP3Policy itself."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import SelectionType
+from repro.core.config import SmartEXP3Config
+from repro.core.smart_exp3 import SmartEXP3Policy
+
+from tests.conftest import make_context, make_observation
+
+
+def drive(policy, gains_by_network, slots):
+    """Drive a policy for ``slots`` slots with fixed per-network gains."""
+    choices = []
+    for slot in range(1, slots + 1):
+        chosen = policy.begin_slot(slot)
+        choices.append(chosen)
+        policy.end_slot(slot, make_observation(slot, chosen, gain=gains_by_network[chosen]))
+    return choices
+
+
+class TestInitialExploration:
+    def test_first_blocks_explore_every_network(self):
+        policy = SmartEXP3Policy(make_context())
+        choices = drive(policy, {0: 0.2, 1: 0.5, 2: 0.9}, slots=4)
+        assert set(choices[:3]) == {0, 1, 2}
+        assert policy.explore_remaining == frozenset()
+
+    def test_block_exp3_variant_skips_exploration(self):
+        policy = SmartEXP3Policy(make_context(), SmartEXP3Config.block_exp3())
+        assert policy.explore_remaining == frozenset()
+
+    def test_exploration_block_probability(self):
+        policy = SmartEXP3Policy(make_context())
+        policy.begin_slot(1)
+        assert policy.current_block.selection_type is SelectionType.EXPLORATION
+        assert policy.current_block.probability == pytest.approx(1.0 / 3.0)
+
+
+class TestBlockStructure:
+    def test_block_lengths_respected(self):
+        policy = SmartEXP3Policy(
+            make_context(seed=1),
+            SmartEXP3Config.block_exp3().replace(beta=1.0),
+        )
+        lengths_seen = []
+        seen_indices = set()
+        for slot in range(1, 40):
+            chosen = policy.begin_slot(slot)
+            block = policy.current_block
+            if block.index not in seen_indices:
+                seen_indices.add(block.index)
+                lengths_seen.append(block.length)
+            policy.end_slot(slot, make_observation(slot, chosen, gain=0.5))
+        # With beta=1 the lengths double with each repeat selection of a network.
+        assert lengths_seen[0] == 1
+        assert max(lengths_seen) > 1
+
+    def test_block_index_increases(self):
+        policy = SmartEXP3Policy(make_context())
+        drive(policy, {0: 0.3, 1: 0.3, 2: 0.3}, slots=20)
+        assert policy.block_index >= 4
+
+    def test_weights_updated_at_block_end(self):
+        policy = SmartEXP3Policy(make_context(network_ids=(0, 1), seed=2))
+        before = policy.weights
+        drive(policy, {0: 1.0, 1: 1.0}, slots=3)
+        after = policy.weights
+        assert any(after[i] != before[i] for i in after)
+
+    def test_weight_favours_better_network_over_time(self):
+        policy = SmartEXP3Policy(make_context(seed=4))
+        drive(policy, {0: 0.05, 1: 0.1, 2: 0.95}, slots=400)
+        probs = policy.probabilities
+        assert probs[2] > probs[0]
+        assert probs[2] > probs[1]
+        assert probs[2] > 0.5
+
+    def test_probabilities_sum_to_one(self):
+        policy = SmartEXP3Policy(make_context())
+        drive(policy, {0: 0.2, 1: 0.4, 2: 0.8}, slots=50)
+        assert sum(policy.probabilities.values()) == pytest.approx(1.0)
+
+
+class TestSwitchBackBehaviour:
+    def test_switch_back_keeps_device_on_good_network(self):
+        # Network 1 is great, the others are terrible: excursions are cut short
+        # by the switch-back mechanism, so the vast majority of slots are spent
+        # on network 1 and switch-back blocks do occur (across a few seeds).
+        gains = {0: 0.05, 1: 0.9, 2: 0.07}
+        total = 400
+        switch_back_blocks = 0
+        for seed in range(3):
+            config = SmartEXP3Config.without_reset()
+            policy = SmartEXP3Policy(make_context(seed=seed), config)
+            on_good = 0
+            seen_blocks = set()
+            for slot in range(1, total + 1):
+                chosen = policy.begin_slot(slot)
+                block = policy.current_block
+                if block.index not in seen_blocks:
+                    seen_blocks.add(block.index)
+                    if block.selection_type is SelectionType.SWITCH_BACK:
+                        switch_back_blocks += 1
+                on_good += chosen == 1
+                policy.end_slot(slot, make_observation(slot, chosen, gain=gains[chosen]))
+            assert on_good / total > 0.7
+        assert switch_back_blocks >= 1
+
+    def test_no_switch_back_when_disabled(self):
+        config = SmartEXP3Config.hybrid_block_exp3()
+        policy = SmartEXP3Policy(make_context(network_ids=(0, 1), seed=3), config)
+        drive(policy, {0: 0.05, 1: 0.9}, slots=100)
+        # Without switch-back the policy still works; nothing to assert beyond liveness.
+        assert policy.block_index > 10
+
+
+class TestResetBehaviour:
+    def test_periodic_reset_eventually_fires(self):
+        policy = SmartEXP3Policy(make_context(seed=5))
+        drive(policy, {0: 0.1, 1: 0.2, 2: 0.9}, slots=900)
+        assert policy.reset_count >= 1
+
+    def test_no_reset_variant_never_resets(self):
+        policy = SmartEXP3Policy(make_context(seed=5), SmartEXP3Config.without_reset())
+        drive(policy, {0: 0.1, 1: 0.2, 2: 0.9}, slots=900)
+        assert policy.reset_count == 0
+
+    def test_drop_reset_on_sustained_quality_collapse(self):
+        policy = SmartEXP3Policy(make_context(seed=6))
+        # Converge onto network 2, then collapse its quality for a long stretch.
+        drive(policy, {0: 0.1, 1: 0.2, 2: 0.9}, slots=300)
+        resets_before = policy.reset_count
+        drive(policy, {0: 0.1, 1: 0.2, 2: 0.2}, slots=120)
+        assert policy.reset_count > resets_before
+
+    def test_reset_preserves_weights_but_clears_blocks(self):
+        policy = SmartEXP3Policy(make_context(seed=7))
+        drive(policy, {0: 0.1, 1: 0.2, 2: 0.9}, slots=50)
+        weights_before = policy.weights
+        policy._do_reset()
+        assert policy.weights == weights_before
+        assert policy.explore_remaining == frozenset(policy.available_networks)
+        assert policy._scheduler.counts() == {}
+
+
+class TestNetworkSetChanges:
+    def test_new_network_gets_max_weight_and_forces_reset(self):
+        policy = SmartEXP3Policy(make_context(network_ids=(0, 1), seed=8))
+        drive(policy, {0: 0.1, 1: 0.9}, slots=60)
+        max_weight = max(policy.weights.values())
+        policy.update_available_networks({0, 1, 2})
+        assert policy.weights[2] == pytest.approx(max_weight)
+        assert 2 in policy.explore_remaining
+
+    def test_losing_current_network_starts_new_block(self):
+        policy = SmartEXP3Policy(make_context(seed=9))
+        chosen = policy.begin_slot(1)
+        policy.end_slot(1, make_observation(1, chosen, gain=0.5))
+        remaining = set(policy.available_networks) - {chosen}
+        policy.update_available_networks(remaining)
+        new_choice = policy.begin_slot(2)
+        assert new_choice in remaining
+
+    def test_losing_high_probability_network_resets(self):
+        policy = SmartEXP3Policy(make_context(network_ids=(0, 1), seed=10))
+        drive(policy, {0: 0.05, 1: 0.95}, slots=200)
+        assert policy.probabilities[1] > 0.5
+        resets_before = policy.reset_count
+        policy.update_available_networks({0})
+        assert policy.reset_count == resets_before + 1
+
+    def test_weights_restricted_to_available(self):
+        policy = SmartEXP3Policy(make_context(seed=11))
+        policy.update_available_networks({0, 1})
+        assert set(policy.weights) == {0, 1}
+        assert set(policy.probabilities) == {0, 1}
+
+
+class TestErrorHandling:
+    def test_end_slot_before_begin_rejected(self):
+        policy = SmartEXP3Policy(make_context())
+        with pytest.raises(RuntimeError):
+            policy.end_slot(1, make_observation(1, 0, gain=0.5))
+
+    def test_mismatched_network_rejected(self):
+        policy = SmartEXP3Policy(make_context())
+        chosen = policy.begin_slot(1)
+        wrong = next(i for i in policy.available_networks if i != chosen)
+        with pytest.raises(ValueError):
+            policy.end_slot(1, make_observation(1, wrong, gain=0.5))
+
+    def test_gain_clipped_not_rejected(self):
+        policy = SmartEXP3Policy(make_context())
+        chosen = policy.begin_slot(1)
+        policy.end_slot(1, make_observation(1, chosen, gain=1.0))
+        assert policy.block_index >= 1
+
+
+class TestVariants:
+    def test_block_exp3_never_uses_greedy_or_switch_back(self):
+        from repro.algorithms.block_exp3 import BlockEXP3Policy
+
+        policy = BlockEXP3Policy(make_context(seed=12))
+        assert policy.config.enable_greedy is False
+        assert policy.config.enable_switchback is False
+        assert policy.config.enable_reset is False
+        assert policy.config.enable_initial_exploration is False
+
+    def test_hybrid_enables_greedy_only(self):
+        from repro.algorithms.block_exp3 import HybridBlockEXP3Policy
+
+        policy = HybridBlockEXP3Policy(make_context(seed=13))
+        assert policy.config.enable_greedy is True
+        assert policy.config.enable_initial_exploration is True
+        assert policy.config.enable_switchback is False
+        assert policy.config.enable_reset is False
+
+    def test_variant_configs_override_flags_even_if_passed(self):
+        from repro.algorithms.block_exp3 import BlockEXP3Policy
+
+        policy = BlockEXP3Policy(make_context(), SmartEXP3Config.full())
+        assert policy.config.enable_reset is False

@@ -1,0 +1,135 @@
+"""Tests for the theoretical bounds and the replicator-dynamics check."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.runner import run_simulation
+from repro.sim.scenario import scalability_scenario, setting1_scenario
+from repro.theory.bounds import expected_switches_bound, weak_regret_bound
+from repro.theory.regret import empirical_switches, empirical_weak_regret, switches_within_bound
+from repro.theory.replicator import (
+    exp3_probability_after_update,
+    expected_probability_drift,
+)
+
+
+class TestSwitchBound:
+    def test_matches_simplified_formula_without_reset(self):
+        # With t_d = 1 and tau = T the bound is 3 k log(T + 1) / log(1 + beta).
+        bound = expected_switches_bound(horizon_slots=1200, num_networks=3, beta=0.1)
+        expected = 3 * 3 * math.log(1201) / math.log(1.1)
+        assert bound == pytest.approx(expected)
+
+    def test_monotonic_in_networks_and_beta(self):
+        base = expected_switches_bound(1200, 3, 0.1)
+        assert expected_switches_bound(1200, 5, 0.1) > base
+        assert expected_switches_bound(1200, 3, 0.5) < base
+
+    def test_reset_period_increases_bound(self):
+        no_reset = expected_switches_bound(1200, 3, 0.1, slot_duration_s=15.0)
+        with_reset = expected_switches_bound(
+            1200, 3, 0.1, slot_duration_s=15.0, reset_period_s=400 * 15.0
+        )
+        assert with_reset > no_reset
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_switches_bound(0, 3, 0.1)
+        with pytest.raises(ValueError):
+            expected_switches_bound(10, 3, 0.0)
+        with pytest.raises(ValueError):
+            expected_switches_bound(10, 0, 0.1)
+
+    def test_empirical_switches_respect_bound(self):
+        scenario = scalability_scenario(
+            num_devices=1, num_networks=3, policy="smart_exp3", horizon_slots=400
+        )
+        result = run_simulation(scenario, seed=0)
+        # Use a generous reset period (the policy resets roughly every ~400 slots).
+        bound = expected_switches_bound(
+            horizon_slots=400,
+            num_networks=3,
+            beta=0.1,
+            slot_duration_s=15.0,
+            reset_period_s=200 * 15.0,
+        )
+        assert switches_within_bound(result, bound, device_id=0)
+
+    def test_multi_device_smart_exp3_switches_below_per_device_bound(self):
+        scenario = setting1_scenario(policy="smart_exp3", num_devices=10, horizon_slots=300)
+        result = run_simulation(scenario, seed=1)
+        bound = expected_switches_bound(
+            horizon_slots=300, num_networks=3, beta=0.1,
+            slot_duration_s=15.0, reset_period_s=150 * 15.0,
+        )
+        assert result.mean_switches_per_device() <= bound
+
+
+class TestRegretBound:
+    def test_positive_and_monotone_in_gmax(self):
+        small = weak_regret_bound(1200, 3, 0.1, gamma=0.2, max_block_length=40,
+                                  gain_best_per_period=100.0, mean_delay_s=3.0, mean_gain=1.0)
+        large = weak_regret_bound(1200, 3, 0.1, gamma=0.2, max_block_length=40,
+                                  gain_best_per_period=1000.0, mean_delay_s=3.0, mean_gain=1.0)
+        assert 0 < small < large
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            weak_regret_bound(100, 3, 0.1, gamma=0.0, max_block_length=10,
+                              gain_best_per_period=10, mean_delay_s=1, mean_gain=1)
+        with pytest.raises(ValueError):
+            weak_regret_bound(100, 3, 0.1, gamma=0.1, max_block_length=0,
+                              gain_best_per_period=10, mean_delay_s=1, mean_gain=1)
+
+    def test_empirical_regret_is_finite(self):
+        scenario = scalability_scenario(
+            num_devices=1, num_networks=3, policy="smart_exp3", horizon_slots=150
+        )
+        result = run_simulation(scenario, seed=2)
+        regret = empirical_weak_regret(result, 0)
+        assert np.isfinite(regret)
+        assert empirical_switches(result, 0) >= 0
+
+
+class TestReplicatorDynamics:
+    def test_drift_zero_for_equal_gains(self):
+        assert expected_probability_drift([0.3, 0.3, 0.4], [0.5, 0.5, 0.5], 0) == pytest.approx(0.0)
+
+    def test_drift_positive_for_best_network(self):
+        drift = expected_probability_drift([0.2, 0.3, 0.5], [0.9, 0.1, 0.1], 0)
+        assert drift > 0
+        assert expected_probability_drift([0.2, 0.3, 0.5], [0.9, 0.1, 0.1], 1) < 0
+
+    def test_drift_requires_valid_distribution(self):
+        with pytest.raises(ValueError):
+            expected_probability_drift([0.5, 0.8], [1.0, 0.0], 0)
+        with pytest.raises(IndexError):
+            expected_probability_drift([0.5, 0.5], [1.0, 0.0], 5)
+
+    def test_expected_update_direction_matches_replicator_sign(self):
+        """The expected one-step probability change has the replicator drift's sign."""
+        weights = [1.0, 1.0, 1.0]
+        gains = [0.9, 0.4, 0.1]
+        gamma = 0.01
+        k = 3
+        probabilities = np.asarray(weights) / sum(weights) * (1 - gamma) + gamma / k
+        for target in range(3):
+            expected_change = 0.0
+            for chosen in range(3):
+                new_probability = exp3_probability_after_update(
+                    weights, gamma, chosen, gains[chosen], target
+                )
+                expected_change += probabilities[chosen] * (new_probability - probabilities[target])
+            drift = expected_probability_drift(probabilities.tolist(), gains, target)
+            if abs(drift) > 1e-9:
+                assert math.copysign(1, expected_change) == math.copysign(1, drift)
+
+    def test_update_probability_valid(self):
+        p = exp3_probability_after_update([1.0, 2.0], 0.2, chosen_index=0, gain=0.7, network_index=0)
+        assert 0.0 < p < 1.0
+        with pytest.raises(ValueError):
+            exp3_probability_after_update([1.0, 2.0], 0.2, 0, 1.5, 0)
+        with pytest.raises(ValueError):
+            exp3_probability_after_update([], 0.2, 0, 0.5, 0)

@@ -1,0 +1,152 @@
+"""Tests for the trace library, trace-driven simulation, testbed and wild models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.runner import run_simulation
+from repro.sim.testbed import controlled_static_scenario
+from repro.sim.traces import (
+    CELLULAR_ID,
+    WIFI_ID,
+    SyntheticTraceLibrary,
+    TraceGainModel,
+    TracePair,
+    trace_scenario,
+)
+from repro.sim.wild import WildEnvironment, run_wild_download
+
+
+class TestTracePair:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TracePair(name="bad", wifi_mbps=np.array([1.0]), cellular_mbps=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            TracePair(name="bad", wifi_mbps=np.array([]), cellular_mbps=np.array([]))
+        with pytest.raises(ValueError):
+            TracePair(name="bad", wifi_mbps=np.array([-1.0]), cellular_mbps=np.array([1.0]))
+
+    def test_rate_lookup_and_clamping(self):
+        pair = TracePair(name="t", wifi_mbps=np.array([1.0, 2.0]), cellular_mbps=np.array([3.0, 4.0]))
+        assert pair.rate(WIFI_ID, 1) == 1.0
+        assert pair.rate(CELLULAR_ID, 2) == 4.0
+        assert pair.rate(WIFI_ID, 99) == 2.0  # clamped to the last slot
+        with pytest.raises(KeyError):
+            pair.rate(5, 1)
+
+    def test_best_single_network_download(self):
+        pair = TracePair(name="t", wifi_mbps=np.array([8.0, 8.0]), cellular_mbps=np.array([1.0, 1.0]))
+        assert pair.best_single_network_download_mb(slot_duration_s=15.0) == pytest.approx(30.0)
+
+
+class TestSyntheticTraceLibrary:
+    def test_four_traces_of_expected_length(self):
+        library = SyntheticTraceLibrary()
+        traces = library.all_traces()
+        assert len(traces) == 4
+        assert all(t.num_slots == 100 for t in traces)
+        assert all(np.all(t.wifi_mbps > 0) and np.all(t.cellular_mbps > 0) for t in traces)
+
+    def test_trace2_cellular_always_better(self):
+        trace = SyntheticTraceLibrary().trace(2)
+        assert np.all(trace.cellular_mbps > trace.wifi_mbps)
+
+    def test_traces_1_3_4_have_crossovers(self):
+        library = SyntheticTraceLibrary()
+        for index in (1, 3, 4):
+            trace = library.trace(index)
+            diff = trace.cellular_mbps - trace.wifi_mbps
+            assert np.any(diff > 0) and np.any(diff < 0), f"trace {index} has no crossover"
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticTraceLibrary(seed=7).trace(1)
+        b = SyntheticTraceLibrary(seed=7).trace(1)
+        assert np.allclose(a.wifi_mbps, b.wifi_mbps)
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceLibrary().trace(5)
+
+
+class TestTraceDrivenSimulation:
+    def test_gain_model_replays_trace(self, rng):
+        trace = SyntheticTraceLibrary().trace(1)
+        scenario = trace_scenario(trace, policy="greedy")
+        model = scenario.gain_model
+        assert isinstance(model, TraceGainModel)
+        rate = model.rates(scenario.networks[0], (0,), slot=10, rng=rng)[0]
+        assert rate == pytest.approx(trace.rate(WIFI_ID, 10))
+
+    def test_single_device_run(self):
+        trace = SyntheticTraceLibrary().trace(1)
+        result = run_simulation(trace_scenario(trace, policy="smart_exp3"), seed=0)
+        assert result.num_slots == trace.num_slots
+        assert result.download_mb(0) > 0
+        # Every observed rate must equal one of the two traces at that slot.
+        for slot_index in range(result.num_slots):
+            chosen = int(result.choices[0][slot_index])
+            assert result.rates_mbps[0][slot_index] == pytest.approx(
+                trace.rate(chosen, slot_index + 1)
+            )
+
+    def test_smart_exp3_beats_greedy_when_best_network_changes(self):
+        """Table VI headline: Smart EXP3 wins when no single network is always best."""
+        trace = SyntheticTraceLibrary().trace(4)
+        smart = np.median(
+            [run_simulation(trace_scenario(trace, "smart_exp3"), seed=s).download_mb(0) for s in range(6)]
+        )
+        greedy = np.median(
+            [run_simulation(trace_scenario(trace, "greedy"), seed=s).download_mb(0) for s in range(6)]
+        )
+        assert smart > greedy
+
+
+class TestTestbed:
+    def test_noisy_rates_vary_across_devices(self):
+        scenario = controlled_static_scenario(policy="greedy", num_devices=6, horizon_slots=40)
+        result = run_simulation(scenario, seed=0)
+        # Devices sharing an AP should not all observe identical rates every slot.
+        slot = 20
+        rates = [result.rates_mbps[d][slot] for d in result.device_ids]
+        assert len(set(np.round(rates, 6))) > 1
+
+    def test_download_positive_for_all_devices(self):
+        scenario = controlled_static_scenario(policy="smart_exp3", num_devices=6, horizon_slots=60)
+        result = run_simulation(scenario, seed=1)
+        assert np.all(result.downloads_mb() > 0)
+
+
+class TestWild:
+    def test_environment_rates_positive_and_bounded(self, rng):
+        env = WildEnvironment()
+        rates = env.generate_rates(100, rng)
+        for network_id, series in rates.items():
+            nominal = env.networks()[network_id].bandwidth_mbps
+            assert np.all(series > 0)
+            assert np.all(series <= nominal + 1e-9)
+
+    def test_download_completes(self):
+        result = run_wild_download("greedy", seed=0, file_size_mb=50.0)
+        assert result.completed
+        assert result.download_mb == pytest.approx(50.0)
+        assert result.elapsed_minutes > 0
+
+    def test_incomplete_when_file_too_large(self):
+        result = run_wild_download("greedy", seed=0, file_size_mb=1e6, max_slots=20)
+        assert not result.completed
+        assert result.download_mb < 1e6
+
+    def test_smart_exp3_not_slower_on_average(self):
+        """Section VII-B headline: Smart EXP3 downloads at least as fast as Greedy."""
+        smart = np.mean(
+            [run_wild_download("smart_exp3", seed=s, file_size_mb=300.0).elapsed_minutes for s in range(8)]
+        )
+        greedy = np.mean(
+            [run_wild_download("greedy", seed=s, file_size_mb=300.0).elapsed_minutes for s in range(8)]
+        )
+        assert smart <= greedy * 1.05
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            run_wild_download("greedy", seed=0, file_size_mb=0.0)
+        with pytest.raises(ValueError):
+            WildEnvironment(max_load=1.5)
