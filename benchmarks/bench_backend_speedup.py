@@ -1,0 +1,193 @@
+"""Backend speed benchmark: slots/sec for event vs. vectorized execution.
+
+Measures single-run throughput of each execution backend on a 30-device,
+600-slot scenario for a spread of policies, plus multi-run throughput of
+``run_many`` with and without a process pool, and emits the numbers as JSON
+so future PRs can track the performance trajectory.
+
+The policy mix is deliberate:
+
+* ``fixed_random`` / ``centralized`` — stationary policies, where the slot
+  loop is pure physics/recording overhead; this is where the vectorized
+  backend's batching shows up undiluted (the acceptance floor of >= 3x is
+  checked on the best such row).
+* ``greedy`` / ``smart_exp3`` — learning policies whose per-slot Python is
+  irreducible under bit-exactness, so the speedup tends to Amdahl's limit;
+  the rows document that honestly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
+        --policies fixed_random greedy --runs 4 --workers 4 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.sim.backends import available_backends
+from repro.sim.runner import run_many, run_simulation
+from repro.sim.scenario import setting1_scenario
+
+DEFAULT_POLICIES = ("fixed_random", "centralized", "greedy", "smart_exp3")
+NUM_DEVICES = 30
+HORIZON_SLOTS = 600
+#: Acceptance floor: the vectorized backend must be at least this much
+#: faster than the event backend on the best physics-bound (stationary
+#: policy) row.
+SPEEDUP_FLOOR = 3.0
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_single_run(policy: str, backend: str, repeats: int) -> dict:
+    scenario = setting1_scenario(
+        policy=policy, num_devices=NUM_DEVICES, horizon_slots=HORIZON_SLOTS
+    )
+    seconds = _best_seconds(
+        lambda: run_simulation(scenario, seed=0, backend=backend), repeats
+    )
+    return {
+        "policy": policy,
+        "backend": backend,
+        "mode": "single_run",
+        "seconds": seconds,
+        "slots_per_second": HORIZON_SLOTS / seconds,
+    }
+
+
+def bench_multi_run(
+    policy: str, backend: str, runs: int, workers: int | None, repeats: int
+) -> dict:
+    scenario = setting1_scenario(
+        policy=policy, num_devices=NUM_DEVICES, horizon_slots=HORIZON_SLOTS
+    )
+    seconds = _best_seconds(
+        lambda: run_many(scenario, runs=runs, backend=backend, workers=workers),
+        repeats,
+    )
+    # Label with the pool width run_many actually uses (it dispatches a pool
+    # of min(workers, runs) processes, and only when workers > 1 and runs > 1),
+    # so the emitted JSON attributes throughput to the real configuration.
+    effective = min(workers, runs) if workers and workers > 1 and runs > 1 else 0
+    return {
+        "policy": policy,
+        "backend": f"{backend}+workers{effective}" if effective > 1 else backend,
+        "mode": f"run_many(runs={runs})",
+        "seconds": seconds,
+        "slots_per_second": runs * HORIZON_SLOTS / seconds,
+    }
+
+
+def run_benchmark(
+    policies=DEFAULT_POLICIES,
+    runs: int = 3,
+    workers: int | None = None,
+    repeats: int = 2,
+) -> dict:
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    rows: list[dict] = []
+    speedups: dict[str, float] = {}
+    for policy in policies:
+        event_row = bench_single_run(policy, "event", repeats)
+        vector_row = bench_single_run(policy, "vectorized", repeats)
+        rows.extend([event_row, vector_row])
+        speedups[policy] = (
+            vector_row["slots_per_second"] / event_row["slots_per_second"]
+        )
+        # On a single-core host this degenerates to a serial run_many row,
+        # which still documents the multi-run dispatch overhead.
+        rows.append(bench_multi_run(policy, "vectorized", runs, workers, 1))
+
+    # The >=3x floor is a statement about physics-bound workloads, so it only
+    # gates runs that include a stationary policy; learning-policy-only runs
+    # are documentation of the Amdahl limit, not a regression signal.
+    stationary = {p: s for p, s in speedups.items() if p in ("fixed_random", "centralized")}
+    headline_pool = stationary or speedups
+    headline_policy = max(headline_pool, key=headline_pool.get)
+    return {
+        "scenario": f"setting1 ({NUM_DEVICES} devices, {HORIZON_SLOTS} slots)",
+        "backends": list(available_backends()),
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "vectorized_speedup_by_policy": speedups,
+        "headline": {
+            "policy": headline_policy,
+            "vectorized_speedup": speedups[headline_policy],
+            "floor": SPEEDUP_FLOOR,
+            "floor_applicable": bool(stationary),
+            "meets_floor": (
+                speedups[headline_policy] >= SPEEDUP_FLOOR if stationary else True
+            ),
+        },
+    }
+
+
+def format_report(payload: dict) -> str:
+    lines = [f"Backend throughput on {payload['scenario']}:"]
+    for row in payload["rows"]:
+        lines.append(
+            f"  {row['policy']:<14} {row['backend']:<20} {row['mode']:<18} "
+            f"{row['slots_per_second']:>12,.0f} slots/s"
+        )
+    lines.append("Vectorized speedup vs event (single run):")
+    for policy, speedup in payload["vectorized_speedup_by_policy"].items():
+        lines.append(f"  {policy:<14} {speedup:6.2f}x")
+    headline = payload["headline"]
+    if headline["floor_applicable"]:
+        floor_note = (
+            f"(floor {headline['floor']:.1f}x, "
+            f"{'met' if headline['meets_floor'] else 'NOT met'})"
+        )
+    else:
+        floor_note = "(floor not applicable: no stationary policy benchmarked)"
+    lines.append(
+        f"Headline ({headline['policy']}): "
+        f"{headline['vectorized_speedup']:.2f}x {floor_note}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--policies", nargs="+", default=list(DEFAULT_POLICIES))
+    parser.add_argument("--runs", type=int, default=3, help="runs for run_many rows")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="pool width (default: min(4, cpus))"
+    )
+    parser.add_argument("--repeats", type=int, default=2, help="timing repeats (best-of)")
+    parser.add_argument("--json", default=None, help="also write the JSON payload here")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(
+        policies=tuple(args.policies),
+        runs=args.runs,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    print(format_report(payload))
+    text = json.dumps(payload, indent=2)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(f"JSON written to {args.json}")
+    else:
+        print(text)
+    return 0 if payload["headline"]["meets_floor"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,13 @@ Environment variables:
 * ``REPRO_BENCH_RUNS`` — number of runs per configuration (default 3).
 * ``REPRO_BENCH_HORIZON`` — horizon in slots for static experiments
   (default 600; dynamic/trace experiments keep their natural horizons).
-* ``REPRO_BENCH_PAPER=1`` — use the full paper-scale configuration (slow).
+* ``REPRO_BENCH_BACKEND`` — slot-execution backend (default ``vectorized``;
+  any name from ``repro.sim.backends.available_backends()``; all backends
+  produce bit-identical results).
+* ``REPRO_BENCH_WORKERS`` — process-pool width for multi-run experiments
+  (default unset = serial; parallel results are bit-identical to serial).
+* ``REPRO_BENCH_PAPER=1`` — use the full paper-scale configuration (slow;
+  combine with ``REPRO_BENCH_WORKERS`` to spread the 500 runs over cores).
 """
 
 from __future__ import annotations
@@ -28,15 +34,20 @@ def bench_config(
     default_runs: int = 3, default_horizon: int | None = 600
 ) -> ExperimentConfig:
     """Build the benchmark configuration from environment overrides."""
+    backend = os.environ.get("REPRO_BENCH_BACKEND", "vectorized")
+    workers_env = os.environ.get("REPRO_BENCH_WORKERS")
+    workers = int(workers_env) if workers_env is not None else None
     if os.environ.get("REPRO_BENCH_PAPER") == "1":
-        return ExperimentConfig.paper()
+        return ExperimentConfig.paper().replace(backend=backend, workers=workers)
     runs = int(os.environ.get("REPRO_BENCH_RUNS", default_runs))
     horizon_env = os.environ.get("REPRO_BENCH_HORIZON")
     if horizon_env is not None:
         horizon: int | None = int(horizon_env)
     else:
         horizon = default_horizon
-    return ExperimentConfig(runs=runs, horizon_slots=horizon)
+    return ExperimentConfig(
+        runs=runs, horizon_slots=horizon, backend=backend, workers=workers
+    )
 
 
 def report(title: str, payload) -> None:

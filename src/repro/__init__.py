@@ -35,9 +35,12 @@ from repro.game import Network, NetworkType, distance_to_nash, nash_equilibrium_
 from repro.sim import (
     Scenario,
     SimulationResult,
+    available_backends,
     dynamic_join_leave_scenario,
     dynamic_leave_scenario,
+    get_backend,
     mobility_scenario,
+    register_backend,
     run_many,
     run_simulation,
     setting1_scenario,
@@ -54,8 +57,11 @@ __all__ = [
     "SimulationResult",
     "SmartEXP3Config",
     "SmartEXP3Policy",
+    "available_backends",
     "available_policies",
     "create_policy",
+    "get_backend",
+    "register_backend",
     "distance_to_nash",
     "distance_to_nash_series",
     "download_std_mb",

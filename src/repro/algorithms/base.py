@@ -94,6 +94,14 @@ class Policy(ABC):
     needs_full_feedback: bool = False
     #: Set to True by policies that rely on global knowledge (baselines only).
     uses_global_knowledge: bool = False
+    #: Set to True by policies whose behaviour cannot change between
+    #: availability changes: ``begin_slot`` is deterministic and side-effect
+    #: free while the available set is unchanged, ``end_slot`` ignores
+    #: feedback, and ``probabilities`` is constant.  Execution backends may
+    #: skip the per-slot calls for such policies between topology changes
+    #: (Fixed Random and Centralized qualify; every learning policy must
+    #: leave this False).
+    stationary: bool = False
 
     def __init__(self, context: PolicyContext) -> None:
         if not context.network_ids:

@@ -20,6 +20,7 @@ class CentralizedPolicy(Policy):
     """Optimal static assignment derived from a Nash-equilibrium allocation."""
 
     uses_global_knowledge = True
+    stationary = True
 
     def __init__(self, context: PolicyContext) -> None:
         super().__init__(context)

@@ -8,6 +8,8 @@ from repro.algorithms.base import Observation, Policy, PolicyContext
 class FixedRandomPolicy(Policy):
     """Selects one network uniformly at random at start-up and never switches."""
 
+    stationary = True
+
     def __init__(self, context: PolicyContext) -> None:
         super().__init__(context)
         self._choice = int(self.rng.choice(list(self.available_networks)))

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Sequence
 
+from repro.sim.backends import available_backends
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import run_many
 from repro.sim.scenario import Scenario
@@ -46,7 +47,7 @@ DYNAMIC_POLICIES: tuple[str, ...] = (
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Run-count / horizon configuration of an experiment.
+    """Run-count / horizon / execution configuration of an experiment.
 
     Attributes
     ----------
@@ -56,17 +57,34 @@ class ExperimentConfig:
         Horizon of each run, in slots; ``None`` keeps the scenario's default.
     base_seed:
         Seed of the first run; run ``i`` uses ``base_seed + i``.
+    backend:
+        Slot-execution backend (see :func:`repro.sim.backends.available_backends`).
+        Every backend is bit-exact, so this only affects speed; the
+        experiments layer defaults to the vectorized backend.
+    workers:
+        Process-pool width for multi-run experiments; ``None`` (default),
+        ``0`` or ``1`` runs serially.  Parallel results are bit-identical to
+        serial ones.
     """
 
     runs: int = 5
     horizon_slots: int | None = 600
     base_seed: int = 0
+    backend: str = "vectorized"
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.runs < 1:
             raise ValueError("runs must be >= 1")
         if self.horizon_slots is not None and self.horizon_slots < 10:
             raise ValueError("horizon_slots must be >= 10")
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -94,11 +112,28 @@ def apply_horizon(scenario: Scenario, config: ExperimentConfig) -> Scenario:
     return scenario.with_horizon(config.horizon_slots)
 
 
+def run_with_config(
+    scenario: Scenario, config: ExperimentConfig
+) -> list[SimulationResult]:
+    """Run a scenario ``config.runs`` times with the config's execution knobs.
+
+    Unlike :func:`run_scenario` this does *not* apply the horizon override —
+    drivers that manage their own horizons call this directly.
+    """
+    return run_many(
+        scenario,
+        config.runs,
+        config.base_seed,
+        backend=config.backend,
+        workers=config.workers,
+    )
+
+
 def run_scenario(
     scenario: Scenario, config: ExperimentConfig
 ) -> list[SimulationResult]:
     """Run a scenario ``config.runs`` times."""
-    return run_many(apply_horizon(scenario, config), config.runs, config.base_seed)
+    return run_with_config(apply_horizon(scenario, config), config)
 
 
 def run_policy_grid(

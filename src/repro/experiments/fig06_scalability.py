@@ -12,8 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.stability import stability_report
-from repro.experiments.common import ExperimentConfig
-from repro.sim.runner import run_many
+from repro.experiments.common import ExperimentConfig, run_with_config
 from repro.sim.scenario import scalability_scenario
 
 #: Sweep values used by the paper.
@@ -38,7 +37,7 @@ def run(
             policy=policy,
             horizon_slots=config.horizon_slots or 8640,
         )
-        results = run_many(scenario, config.runs, config.base_seed)
+        results = run_with_config(scenario, config)
         reports = [stability_report(r) for r in results]
         stabilised = [rep.stable_slot for rep in reports if rep.stable and rep.stable_slot]
         return {

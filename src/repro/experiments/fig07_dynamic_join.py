@@ -12,8 +12,7 @@ import numpy as np
 
 from repro.analysis.aggregate import downsample_series, mean_of_series
 from repro.analysis.distance import distance_to_nash_series
-from repro.experiments.common import DYNAMIC_POLICIES, ExperimentConfig
-from repro.sim.runner import run_many
+from repro.experiments.common import DYNAMIC_POLICIES, ExperimentConfig, run_with_config
 from repro.sim.scenario import dynamic_join_leave_scenario
 
 
@@ -29,7 +28,7 @@ def run(
         scenario = dynamic_join_leave_scenario(policy=policy)
         if config.horizon_slots is not None and config.horizon_slots >= scenario.horizon_slots:
             scenario = scenario.with_horizon(config.horizon_slots)
-        results = run_many(scenario, config.runs, config.base_seed)
+        results = run_with_config(scenario, config)
         series = mean_of_series([distance_to_nash_series(r) for r in results])
         output["series"][policy] = downsample_series(series, series_points).tolist()
         output["phase_means"][policy] = {

@@ -17,8 +17,7 @@ import numpy as np
 
 from repro.analysis.aggregate import downsample_series, mean_of_series
 from repro.analysis.distance import distance_to_nash_series
-from repro.experiments.common import DYNAMIC_POLICIES, ExperimentConfig
-from repro.sim.runner import run_many
+from repro.experiments.common import DYNAMIC_POLICIES, ExperimentConfig, run_with_config
 from repro.sim.scenario import mobility_scenario
 
 
@@ -43,7 +42,7 @@ def run(
         scenario = mobility_scenario(policy=policy)
         if config.horizon_slots is not None and config.horizon_slots >= scenario.horizon_slots:
             scenario = scenario.with_horizon(config.horizon_slots)
-        results = run_many(scenario, config.runs, config.base_seed)
+        results = run_with_config(scenario, config)
         overall: list[float] = []
         for group_name, device_ids in groups.items():
             network_ids = group_networks.get(group_name)

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentConfig
-from repro.sim.runner import run_many
+from repro.experiments.common import ExperimentConfig, run_with_config
 from repro.sim.scenario import (
     Scenario,
     dynamic_join_leave_scenario,
@@ -25,7 +24,7 @@ from repro.sim.scenario import (
 def _mean_switches(
     scenario: Scenario, config: ExperimentConfig, device_ids: tuple[int, ...]
 ) -> tuple[float, float]:
-    results = run_many(scenario, config.runs, config.base_seed)
+    results = run_with_config(scenario, config)
     values = [r.mean_switches_per_device(device_ids) for r in results]
     return float(np.mean(values)), float(np.std(values))
 

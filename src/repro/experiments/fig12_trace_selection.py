@@ -10,8 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentConfig
-from repro.sim.runner import run_many
+from repro.experiments.common import ExperimentConfig, run_with_config
 from repro.sim.traces import SyntheticTraceLibrary, trace_scenario
 
 
@@ -28,7 +27,7 @@ def run(
     for index in trace_indices:
         trace = library.trace(index)
         scenario = trace_scenario(trace, policy=policy)
-        results = run_many(scenario, config.runs, config.base_seed)
+        results = run_with_config(scenario, config)
         downloads = np.asarray([r.download_mb(0) for r in results])
         representative = results[int(np.argmin(np.abs(downloads - np.median(downloads))))]
         output[trace.name] = {

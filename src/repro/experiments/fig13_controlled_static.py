@@ -15,8 +15,7 @@ from repro.analysis.distance import (
     distance_from_average_rate_series,
     optimal_distance_from_average_rate,
 )
-from repro.experiments.common import ExperimentConfig
-from repro.sim.runner import run_many
+from repro.experiments.common import ExperimentConfig, run_with_config
 from repro.sim.testbed import controlled_static_scenario
 
 POLICIES = ("smart_exp3", "greedy")
@@ -35,7 +34,7 @@ def run(config: ExperimentConfig | None = None, series_points: int = 48) -> dict
             optimal = optimal_distance_from_average_rate(
                 scenario.network_map, scenario.num_devices
             )
-        results = run_many(scenario, config.runs, config.base_seed)
+        results = run_with_config(scenario, config)
         series = mean_of_series(
             [distance_from_average_rate_series(r) for r in results]
         )

@@ -11,8 +11,7 @@ import numpy as np
 
 from repro.analysis.aggregate import downsample_series, mean_of_series
 from repro.analysis.distance import distance_from_average_rate_series
-from repro.experiments.common import ExperimentConfig
-from repro.sim.runner import run_many
+from repro.experiments.common import ExperimentConfig, run_with_config
 from repro.sim.testbed import controlled_dynamic_scenario
 
 POLICIES = ("smart_exp3", "greedy")
@@ -30,7 +29,7 @@ def run(config: ExperimentConfig | None = None, series_points: int = 48) -> dict
         stayers = next(
             group.device_ids for group in scenario.device_groups if group.name == "stayers"
         )
-        results = run_many(scenario, config.runs, config.base_seed)
+        results = run_with_config(scenario, config)
         series = mean_of_series(
             [distance_from_average_rate_series(r, device_ids=stayers) for r in results]
         )

@@ -15,8 +15,7 @@ from repro.analysis.distance import (
     distance_from_average_rate_series,
     optimal_distance_from_average_rate,
 )
-from repro.experiments.common import ExperimentConfig
-from repro.sim.runner import run_many
+from repro.experiments.common import ExperimentConfig, run_with_config
 from repro.sim.testbed import controlled_mixed_scenario
 
 
@@ -26,7 +25,7 @@ def run(config: ExperimentConfig | None = None, series_points: int = 48) -> dict
     scenario = controlled_mixed_scenario(
         horizon_slots=config.horizon_slots or 480
     )
-    results = run_many(scenario, config.runs, config.base_seed)
+    results = run_with_config(scenario, config)
     output: dict = {"series": {}, "mean_distance": {}}
     for group in scenario.device_groups:
         series = mean_of_series(

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentConfig
-from repro.sim.runner import run_many
+from repro.experiments.common import ExperimentConfig, run_with_config
 from repro.sim.traces import SyntheticTraceLibrary, trace_scenario
 
 POLICIES = ("smart_exp3", "greedy")
@@ -31,7 +30,7 @@ def run(
         row["best_single_network_mb"] = trace.best_single_network_download_mb()
         for policy in POLICIES:
             scenario = trace_scenario(trace, policy=policy)
-            results = run_many(scenario, config.runs, config.base_seed)
+            results = run_with_config(scenario, config)
             downloads = [r.download_mb(0) for r in results]
             costs = [r.switching_cost_mb(0) for r in results]
             row[f"{policy}_download_mb"] = float(np.median(downloads))

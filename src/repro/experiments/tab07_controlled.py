@@ -9,9 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, run_with_config
 from repro.sim.metrics import SimulationResult
-from repro.sim.runner import run_many
 from repro.sim.testbed import controlled_static_scenario
 
 POLICIES = ("smart_exp3", "greedy")
@@ -33,7 +32,7 @@ def run(config: ExperimentConfig | None = None) -> list[dict]:
         scenario = controlled_static_scenario(
             policy=policy, horizon_slots=config.horizon_slots or 480
         )
-        results = run_many(scenario, config.runs, config.base_seed)
+        results = run_with_config(scenario, config)
         medians = []
         stds = []
         switches = []

@@ -11,8 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import SmartEXP3Config
-from repro.experiments.common import ExperimentConfig
-from repro.sim.runner import run_many
+from repro.experiments.common import ExperimentConfig, run_with_config
 from repro.sim.scenario import scalability_scenario
 from repro.theory.bounds import expected_switches_bound, weak_regret_bound
 from repro.theory.regret import empirical_switches, empirical_weak_regret
@@ -36,7 +35,7 @@ def run(
                 horizon_slots=horizon,
                 policy_kwargs={"beta": beta},
             )
-            results = run_many(scenario, config.runs, config.base_seed)
+            results = run_with_config(scenario, config)
             switches = [empirical_switches(r, 0) for r in results]
             regrets = [empirical_weak_regret(r, 0) for r in results]
             switch_bound = expected_switches_bound(

@@ -10,13 +10,24 @@ subpackage re-implements that substrate from scratch:
 * :mod:`repro.sim.scenario` — declarative scenario descriptions + the paper's
   settings 1–3 and the dynamic variants.
 * :mod:`repro.sim.metrics` — per-run result containers.
-* :mod:`repro.sim.runner` — single-run and multi-run simulation drivers.
+* :mod:`repro.sim.backends` — pluggable slot-execution backends (the
+  reference event-calendar backend and the batched vectorized backend).
+* :mod:`repro.sim.runner` — single-run and multi-run simulation drivers with
+  backend selection and process-pool parallelism.
 * :mod:`repro.sim.traces` — synthetic WiFi/cellular trace library and the
   trace-driven single-device simulator (Section VI-B substitution).
 * :mod:`repro.sim.testbed` — noisy testbed scenarios (Section VII-A substitution).
 * :mod:`repro.sim.wild` — in-the-wild download race (Section VII-B substitution).
 """
 
+from repro.sim.backends import (
+    DEFAULT_BACKEND,
+    SlotExecutor,
+    SlotRecorder,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.sim.delay import ConstantDelayModel, DelayModel, EmpiricalDelayModel, NoDelayModel
 from repro.sim.engine import Event, EventQueue, SimulationEngine
 from repro.sim.environment import WirelessEnvironment
@@ -36,6 +47,7 @@ from repro.sim.scenario import (
 __all__ = [
     "ConstantDelayModel",
     "CoverageMap",
+    "DEFAULT_BACKEND",
     "DelayModel",
     "DeviceSlotRecord",
     "DeviceSpec",
@@ -47,7 +59,12 @@ __all__ = [
     "ServiceArea",
     "SimulationEngine",
     "SimulationResult",
+    "SlotExecutor",
+    "SlotRecorder",
     "WirelessEnvironment",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "dynamic_join_leave_scenario",
     "dynamic_leave_scenario",
     "mobility_scenario",

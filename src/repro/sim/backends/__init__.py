@@ -1,0 +1,85 @@
+"""Pluggable slot-execution backends.
+
+A backend is a :class:`~repro.sim.backends.base.SlotExecutor`: it executes
+one simulation run (``scenario``, ``seed``) and returns the full
+:class:`~repro.sim.metrics.SimulationResult`.  All backends are bit-exact —
+for any fixed seed they produce identical results — and differ only in how
+fast they get there:
+
+* ``"event"`` — :class:`EventSlotExecutor`, the reference implementation on
+  the discrete-event calendar.
+* ``"vectorized"`` — :class:`VectorizedSlotExecutor`, batched NumPy physics
+  with segment-level caching of topology-invariant state.
+
+Third-party backends can be added with :func:`register_backend`; the runner
+resolves names through :func:`get_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.backends.base import (
+    DeviceRuntime,
+    RunState,
+    SlotExecutor,
+    SlotRecorder,
+    build_policies,
+    execute_reference_slot,
+    prepare_run,
+)
+from repro.sim.backends.event import EventSlotExecutor
+from repro.sim.backends.vectorized import VectorizedSlotExecutor
+
+#: Backend used when callers do not ask for one explicitly.  The event
+#: backend remains the default for direct ``run_simulation`` calls so the
+#: reference semantics stay front and centre; the experiments layer opts
+#: into ``"vectorized"`` through :class:`repro.experiments.common.ExperimentConfig`.
+DEFAULT_BACKEND = "event"
+
+_BACKENDS: dict[str, Callable[[], SlotExecutor]] = {
+    EventSlotExecutor.name: EventSlotExecutor,
+    VectorizedSlotExecutor.name: VectorizedSlotExecutor,
+}
+
+
+def register_backend(
+    name: str, factory: Callable[[], SlotExecutor], overwrite: bool = False
+) -> None:
+    """Register a backend factory under ``name``."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    if name in _BACKENDS and not overwrite:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered execution backends, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str) -> SlotExecutor:
+    """Instantiate the backend registered under ``name``."""
+    if name not in _BACKENDS:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    return _BACKENDS[name]()
+
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "DeviceRuntime",
+    "EventSlotExecutor",
+    "RunState",
+    "SlotExecutor",
+    "SlotRecorder",
+    "VectorizedSlotExecutor",
+    "available_backends",
+    "build_policies",
+    "execute_reference_slot",
+    "get_backend",
+    "prepare_run",
+    "register_backend",
+]

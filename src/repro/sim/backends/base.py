@@ -1,0 +1,307 @@
+"""Shared infrastructure for the pluggable slot-execution backends.
+
+A backend (:class:`SlotExecutor`) owns the per-slot execution of one
+simulation run.  Everything that must be *identical* across backends lives
+here, so that any two backends produce bit-for-bit equal
+:class:`~repro.sim.metrics.SimulationResult` objects for the same seed:
+
+* :func:`prepare_run` — seeds the environment RNG and the per-device policy
+  RNGs in a fixed order (one ``integers`` draw for the environment, then one
+  per device in scenario order), so every backend consumes the master seed
+  identically.
+* :class:`SlotRecorder` — preallocated ``(device, slot)`` result arrays that
+  backends write into directly; the final per-device arrays handed to
+  :class:`SimulationResult` are row views into these blocks.
+* :func:`execute_reference_slot` — the reference per-slot semantics
+  (selection → physics → feedback/recording), used verbatim by the event
+  backend and at topology-change slots by the vectorized backend.
+
+The contract every backend must honour, in RNG-stream terms:
+
+1. The environment RNG is consumed only by the gain model (per network, in
+   order of first appearance among active devices sorted by id) and by the
+   delay model (per *switching* device, in ascending device-id order).
+2. Each policy owns a private RNG; backends only drive the public policy
+   interface (``begin_slot`` / ``end_slot`` / ``update_available_networks``)
+   in ascending device-id order.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import Observation, Policy, PolicyContext
+from repro.algorithms.registry import create_policy
+from repro.sim.environment import WirelessEnvironment
+from repro.sim.metrics import NO_NETWORK, SimulationResult
+from repro.sim.scenario import Scenario
+
+
+class DeviceRuntime:
+    """Mutable per-device bookkeeping used during a run."""
+
+    __slots__ = ("spec", "policy", "previous_choice", "visible")
+
+    def __init__(self, spec, policy: Policy) -> None:
+        self.spec = spec
+        self.policy = policy
+        self.previous_choice: int | None = None
+        self.visible: frozenset[int] | None = None
+
+
+def build_policies(
+    scenario: Scenario, rng: np.random.Generator
+) -> dict[int, DeviceRuntime]:
+    """Instantiate one policy per device according to the scenario specs.
+
+    The per-device RNG seeds are drawn from ``rng`` in scenario order; this
+    order is part of the cross-backend reproducibility contract.
+    """
+    bandwidths = {n.network_id: n.bandwidth_mbps for n in scenario.networks}
+    # Rank devices within each policy name (used by the Centralized baseline).
+    per_policy_counts: dict[str, int] = {}
+    for spec in scenario.device_specs:
+        per_policy_counts[spec.policy] = per_policy_counts.get(spec.policy, 0) + 1
+    per_policy_seen: dict[str, int] = {}
+
+    runtimes: dict[int, DeviceRuntime] = {}
+    for spec in scenario.device_specs:
+        device = spec.device
+        visible = scenario.coverage.visible_networks(device, device.join_slot)
+        index = per_policy_seen.get(spec.policy, 0)
+        per_policy_seen[spec.policy] = index + 1
+        context = PolicyContext(
+            network_ids=tuple(sorted(visible)),
+            rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
+            slot_duration_s=scenario.slot_duration_s,
+            network_bandwidths=dict(bandwidths),
+            device_index=index,
+            num_devices=per_policy_counts[spec.policy],
+        )
+        policy = create_policy(spec.policy, context, **spec.policy_kwargs)
+        runtime = DeviceRuntime(spec, policy)
+        runtime.visible = visible
+        runtimes[device.device_id] = runtime
+    return runtimes
+
+
+class SlotRecorder:
+    """Preallocated per-run result arrays, written in place by the backends.
+
+    One contiguous block is allocated per quantity with shape
+    ``(num_devices, num_slots)`` (plus a network axis for probabilities);
+    :meth:`result` splits the blocks into the per-device row views stored on
+    :class:`SimulationResult`.  Backends address devices by *row* (position
+    of the device id in the sorted id tuple) so recording never goes through
+    per-device dict indexing.
+    """
+
+    __slots__ = (
+        "device_ids",
+        "network_order",
+        "num_slots",
+        "row_of",
+        "network_col",
+        "choices",
+        "rates",
+        "delays",
+        "switches",
+        "active",
+        "probabilities",
+    )
+
+    def __init__(
+        self,
+        device_ids: tuple[int, ...],
+        network_order: tuple[int, ...],
+        num_slots: int,
+    ) -> None:
+        num_devices = len(device_ids)
+        num_networks = len(network_order)
+        self.device_ids = device_ids
+        self.network_order = network_order
+        self.num_slots = num_slots
+        self.row_of = {device_id: row for row, device_id in enumerate(device_ids)}
+        self.network_col = {
+            network_id: col for col, network_id in enumerate(network_order)
+        }
+        self.choices = np.full((num_devices, num_slots), NO_NETWORK, dtype=np.int64)
+        self.rates = np.zeros((num_devices, num_slots), dtype=float)
+        self.delays = np.zeros((num_devices, num_slots), dtype=float)
+        self.switches = np.zeros((num_devices, num_slots), dtype=bool)
+        self.active = np.zeros((num_devices, num_slots), dtype=bool)
+        self.probabilities = np.zeros(
+            (num_devices, num_slots, num_networks), dtype=float
+        )
+
+    def record_probabilities(self, row: int, slot_index: int, policy: Policy) -> None:
+        """Record a policy's current mixed strategy for one (device, slot)."""
+        prob_row = self.probabilities[row, slot_index]
+        network_col = self.network_col
+        for network_id, probability in policy.probabilities.items():
+            col = network_col.get(network_id)
+            if col is not None:
+                prob_row[col] = probability
+
+    def result(
+        self,
+        scenario: Scenario,
+        seed: int,
+        runtimes: dict[int, DeviceRuntime],
+    ) -> SimulationResult:
+        """Assemble the final :class:`SimulationResult` from the blocks."""
+        device_ids = self.device_ids
+        row_of = self.row_of
+        return SimulationResult(
+            scenario_name=scenario.name,
+            seed=seed,
+            num_slots=self.num_slots,
+            slot_duration_s=scenario.slot_duration_s,
+            networks=dict(scenario.network_map),
+            device_ids=device_ids,
+            policy_names={d: runtimes[d].spec.policy for d in device_ids},
+            choices={d: self.choices[row_of[d]] for d in device_ids},
+            rates_mbps={d: self.rates[row_of[d]] for d in device_ids},
+            delays_s={d: self.delays[row_of[d]] for d in device_ids},
+            switches={d: self.switches[row_of[d]] for d in device_ids},
+            active={d: self.active[row_of[d]] for d in device_ids},
+            probabilities={d: self.probabilities[row_of[d]] for d in device_ids},
+            resets={d: runtimes[d].policy.reset_count for d in device_ids},
+        )
+
+
+@dataclass
+class RunState:
+    """Everything a backend needs to execute one run."""
+
+    scenario: Scenario
+    seed: int
+    environment: WirelessEnvironment
+    runtimes: dict[int, DeviceRuntime]
+    device_ids: tuple[int, ...]
+    network_order: tuple[int, ...]
+    any_full_feedback: bool
+    num_slots: int
+    recorder: SlotRecorder
+
+    def finish(self) -> SimulationResult:
+        return self.recorder.result(self.scenario, self.seed, self.runtimes)
+
+
+def prepare_run(scenario: Scenario, seed: int) -> RunState:
+    """Seed the RNG streams and allocate the shared run state for one run."""
+    rng = np.random.default_rng(seed)
+    environment = WirelessEnvironment(
+        scenario, np.random.default_rng(rng.integers(0, 2**63 - 1))
+    )
+    runtimes = build_policies(scenario, rng)
+    device_ids = tuple(sorted(runtimes))
+    network_order = tuple(sorted(scenario.network_map))
+    num_slots = scenario.horizon_slots
+    return RunState(
+        scenario=scenario,
+        seed=seed,
+        environment=environment,
+        runtimes=runtimes,
+        device_ids=device_ids,
+        network_order=network_order,
+        any_full_feedback=any(
+            r.policy.needs_full_feedback for r in runtimes.values()
+        ),
+        num_slots=num_slots,
+        recorder=SlotRecorder(device_ids, network_order, num_slots),
+    )
+
+
+def execute_reference_slot(state: RunState, slot: int) -> None:
+    """Process one slot with the reference (event-calendar) semantics.
+
+    This is the per-slot loop the original runner executed inline: policy
+    selection in device order, environment physics, then feedback and
+    recording in device order.  The vectorized backend reuses it verbatim at
+    topology-change slots so both backends share one source of truth for the
+    slot semantics.
+    """
+    scenario = state.scenario
+    environment = state.environment
+    runtimes = state.runtimes
+    recorder = state.recorder
+    slot_index = slot - 1
+
+    # Phase 1: selection.
+    slot_choices: dict[int, int] = {}
+    for device_id in state.device_ids:
+        runtime = runtimes[device_id]
+        device = runtime.spec.device
+        if not device.is_active(slot):
+            continue
+        visible = scenario.coverage.visible_networks(device, slot)
+        if visible != runtime.visible:
+            runtime.policy.update_available_networks(visible)
+            runtime.visible = visible
+        slot_choices[device_id] = runtime.policy.begin_slot(slot)
+
+    # Phase 2: realised rates (allocation counts only feed the
+    # full-information counterfactuals, so they are skipped otherwise).
+    counts = (
+        environment.allocation_counts(slot_choices)
+        if state.any_full_feedback
+        else None
+    )
+    realised = environment.realized_rates(slot_choices, slot)
+
+    # Phase 3: feedback and recording.
+    row_of = recorder.row_of
+    for device_id, network_id in slot_choices.items():
+        runtime = runtimes[device_id]
+        rate = realised[device_id]
+        switched = (
+            runtime.previous_choice is not None
+            and runtime.previous_choice != network_id
+        )
+        delay = environment.switching_delay(network_id) if switched else 0.0
+        gain = environment.scaled_gain(rate)
+        full_feedback = None
+        if state.any_full_feedback and runtime.policy.needs_full_feedback:
+            full_feedback = environment.counterfactual_gains(
+                counts, network_id, runtime.visible or frozenset()
+            )
+        observation = Observation(
+            slot=slot,
+            network_id=network_id,
+            bit_rate_mbps=rate,
+            gain=gain,
+            switched=switched,
+            delay_s=delay,
+            full_feedback=full_feedback,
+        )
+        runtime.policy.end_slot(slot, observation)
+        runtime.previous_choice = network_id
+
+        row = row_of[device_id]
+        recorder.choices[row, slot_index] = network_id
+        recorder.rates[row, slot_index] = rate
+        recorder.delays[row, slot_index] = delay
+        recorder.switches[row, slot_index] = switched
+        recorder.active[row, slot_index] = True
+        recorder.record_probabilities(row, slot_index, runtime.policy)
+
+
+class SlotExecutor(ABC):
+    """A pluggable execution backend for one simulation run.
+
+    Implementations must satisfy the reproducibility contract documented in
+    this module: for any scenario and seed, :meth:`execute` returns a
+    :class:`SimulationResult` bit-for-bit equal to the one produced by the
+    reference event backend.
+    """
+
+    #: Registry name of the backend (e.g. ``"event"``, ``"vectorized"``).
+    name: str = ""
+
+    @abstractmethod
+    def execute(self, scenario: Scenario, seed: int = 0) -> SimulationResult:
+        """Run ``scenario`` once with ``seed`` and return the full record."""

@@ -1,0 +1,264 @@
+"""Vectorized backend: batched slot physics over NumPy arrays.
+
+The reference (event) backend spends most of its time in per-device Python:
+throwaway dicts for allocation counts and realised rates, per-device scalar
+gain scaling, a coverage lookup per device per slot, and per-device dict
+indexing into the result arrays.  This backend batches all of that across
+devices:
+
+* Allocation counts come from one ``np.bincount`` over the per-device choice
+  columns; equal-share rates and the full-information counterfactual gains
+  are array expressions over the network axis.
+* The horizon is split into *segments* at topology-change slots (device
+  joins/leaves and service-area transitions).  Within a segment the active
+  set and every device's visible-network set are constant, so coverage is
+  resolved once per segment instead of once per device per slot.
+* Devices running a :attr:`~repro.algorithms.base.Policy.stationary` policy
+  (Fixed Random, Centralized) are *frozen* within a segment: their choice
+  and mixed strategy cannot change between topology slots, so their result
+  rows are broadcast once per segment and the per-slot Python loop only
+  visits learning policies.
+* Results are written straight into the preallocated
+  :class:`~repro.sim.backends.base.SlotRecorder` blocks with column/row
+  array writes.
+
+Bit-exactness with the event backend is preserved because the RNG streams
+are consumed in the identical order (see :mod:`repro.sim.backends.base`):
+the equal-share gain model draws nothing, switching delays are drawn per
+switching device in ascending device order, and every policy keeps its
+private generator.  Gain models other than :class:`EqualShareModel` consume
+the environment RNG, so they take a generic per-slot path that routes
+through :meth:`WirelessEnvironment.realized_rates` with the same
+device-ordered association dict the event backend builds.
+
+The first slot of every segment (including slot 1) runs through
+:func:`~repro.sim.backends.base.execute_reference_slot`, so visibility
+updates, policy re-selection after coverage changes and join/leave edges
+share one implementation with the event backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Observation
+from repro.game.gain import EqualShareModel
+from repro.sim.backends.base import (
+    SlotExecutor,
+    execute_reference_slot,
+    prepare_run,
+)
+from repro.sim.metrics import SimulationResult
+from repro.sim.scenario import Scenario
+
+
+def _topology_slots(devices, num_slots: int) -> list[int]:
+    """Slots where the active set or any device's coverage can change."""
+    boundaries = {1}
+    for device in devices:
+        if 1 <= device.join_slot <= num_slots:
+            boundaries.add(device.join_slot)
+        if device.leave_slot is not None and device.leave_slot + 1 <= num_slots:
+            boundaries.add(device.leave_slot + 1)
+        for key in device.area_schedule:
+            if 1 <= key <= num_slots:
+                boundaries.add(key)
+    return sorted(boundaries)
+
+
+class VectorizedSlotExecutor(SlotExecutor):
+    """Batched per-slot physics with segment-level caching."""
+
+    name = "vectorized"
+
+    def execute(self, scenario: Scenario, seed: int = 0) -> SimulationResult:
+        state = prepare_run(scenario, seed)
+        environment = state.environment
+        recorder = state.recorder
+        device_ids = state.device_ids
+        num_slots = state.num_slots
+        num_devices = len(device_ids)
+        runtimes_by_row = [state.runtimes[d] for d in device_ids]
+        devices = [rt.spec.device for rt in runtimes_by_row]
+        network_order = state.network_order
+        num_networks = len(network_order)
+        network_col = recorder.network_col
+        net_ids = np.asarray(network_order, dtype=np.int64)
+        bandwidths = np.asarray(
+            [scenario.network_map[k].bandwidth_mbps for k in network_order],
+            dtype=float,
+        )
+        scale_ref = float(scenario.scale_reference_mbps)
+        # Only the exact EqualShareModel is RNG-free and closed-form; any
+        # other gain model goes through the environment for bit-exactness.
+        fast_physics = type(scenario.gain_model) is EqualShareModel
+        any_full_feedback = state.any_full_feedback
+
+        choices2d = recorder.choices
+        rates2d = recorder.rates
+        delays2d = recorder.delays
+        switches2d = recorder.switches
+        active2d = recorder.active
+
+        topology = _topology_slots(devices, num_slots)
+        topology.append(num_slots + 1)
+
+        for seg in range(len(topology) - 1):
+            seg_start = topology[seg]
+            seg_end = topology[seg + 1]  # segment covers slots [seg_start, seg_end)
+
+            # The first slot of a segment carries all the state transitions
+            # (visibility updates, joins, post-coverage re-selection); run it
+            # through the shared reference implementation.
+            execute_reference_slot(state, seg_start)
+            if seg_end - seg_start <= 1:
+                continue
+
+            # ---- segment caches: constant for slots seg_start+1 .. seg_end-1
+            act_rows_list = [
+                row for row in range(num_devices) if devices[row].is_active(seg_start)
+            ]
+            if not act_rows_list:
+                continue
+            act_rows = np.asarray(act_rows_list, dtype=np.intp)
+            all_active = len(act_rows_list) == num_devices
+            idx_lo, idx_hi = seg_start, seg_end - 1  # 0-based column range
+            seg_cols = np.arange(idx_lo, idx_hi)
+
+            if all_active:
+                active2d[:, idx_lo:idx_hi] = True
+            else:
+                active2d[np.ix_(act_rows, seg_cols)] = True
+
+            # Choice column per active device; frozen entries are fixed for
+            # the whole segment, live entries are refreshed every slot.
+            choice_cols = np.empty(len(act_rows_list), dtype=np.intp)
+            live: list[tuple[int, int, object, object]] = []
+            for pos, row in enumerate(act_rows_list):
+                runtime = runtimes_by_row[row]
+                policy = runtime.policy
+                if policy.stationary and not policy.needs_full_feedback:
+                    chosen = runtime.previous_choice
+                    choice_cols[pos] = network_col[chosen]
+                    choices2d[row, idx_lo:idx_hi] = chosen
+                    cols = []
+                    vals = []
+                    for network_id, probability in policy.probabilities.items():
+                        col = network_col.get(network_id)
+                        if col is not None:
+                            cols.append(col)
+                            vals.append(probability)
+                    # Mixed slice + fancy indexing puts the network axis
+                    # first, so broadcast the values along the slot axis.
+                    recorder.probabilities[row, idx_lo:idx_hi, cols] = np.asarray(
+                        vals
+                    )[:, None]
+                else:
+                    live.append((pos, row, runtime, policy))
+
+            num_live = len(live)
+            live_rows = np.asarray([row for _, row, _, _ in live], dtype=np.intp)
+            live_nets = np.empty(num_live, dtype=np.int64)
+            need_feedback = any_full_feedback and any(
+                policy.needs_full_feedback for _, _, _, policy in live
+            )
+
+            if num_live == 0 and fast_physics:
+                # Every active device is frozen: the allocation — hence every
+                # equal-share rate — is constant across the whole segment.
+                counts = np.bincount(choice_cols, minlength=num_networks)
+                rates_act = (bandwidths / np.maximum(counts, 1))[choice_cols]
+                if all_active:
+                    rates2d[:, idx_lo:idx_hi] = rates_act[:, None]
+                else:
+                    rates2d[np.ix_(act_rows, seg_cols)] = rates_act[:, None]
+                continue
+
+            for slot in range(seg_start + 1, seg_end):
+                slot_index = slot - 1
+
+                # Phase 1: selection (learning policies only).
+                for j, (pos, row, runtime, policy) in enumerate(live):
+                    network_id = policy.begin_slot(slot)
+                    live_nets[j] = network_id
+                    choice_cols[pos] = network_col[network_id]
+
+                # Phase 2: realised rates.
+                counts_dict = None
+                if fast_physics:
+                    counts = np.bincount(choice_cols, minlength=num_networks)
+                    rates_act = (bandwidths / np.maximum(counts, 1))[choice_cols]
+                else:
+                    slot_choices = {
+                        device_ids[row]: int(net_ids[choice_cols[pos]])
+                        for pos, row in enumerate(act_rows_list)
+                    }
+                    if any_full_feedback:
+                        counts_dict = environment.allocation_counts(slot_choices)
+                    realised = environment.realized_rates(slot_choices, slot)
+                    rates_act = np.asarray(
+                        [realised[device_ids[row]] for row in act_rows_list],
+                        dtype=float,
+                    )
+                if all_active:
+                    rates2d[:, slot_index] = rates_act
+                else:
+                    rates2d[act_rows, slot_index] = rates_act
+                if num_live:
+                    choices2d[live_rows, slot_index] = live_nets
+
+                # Phase 3: feedback and recording (learning policies only;
+                # frozen rows cannot switch and their rows are pre-broadcast).
+                gains_act = np.minimum(rates_act / scale_ref, 1.0)
+                if need_feedback and fast_physics:
+                    member_gain = np.minimum(
+                        np.where(counts <= 1, bandwidths, bandwidths / np.maximum(counts, 1))
+                        / scale_ref,
+                        1.0,
+                    )
+                    join_gain = np.minimum(
+                        np.where(counts == 0, bandwidths, bandwidths / (counts + 1))
+                        / scale_ref,
+                        1.0,
+                    )
+                for j, (pos, row, runtime, policy) in enumerate(live):
+                    network_id = int(live_nets[j])
+                    previous = runtime.previous_choice
+                    switched = previous is not None and previous != network_id
+                    if switched:
+                        delay = environment.switching_delay(network_id)
+                        delays2d[row, slot_index] = delay
+                        switches2d[row, slot_index] = True
+                    else:
+                        delay = 0.0
+                    full_feedback = None
+                    if any_full_feedback and policy.needs_full_feedback:
+                        visible = runtime.visible or frozenset()
+                        if fast_physics:
+                            chosen_col = choice_cols[pos]
+                            full_feedback = {
+                                k: float(member_gain[network_col[k]])
+                                if network_col[k] == chosen_col
+                                else float(join_gain[network_col[k]])
+                                for k in visible
+                            }
+                        else:
+                            full_feedback = environment.counterfactual_gains(
+                                counts_dict, network_id, visible
+                            )
+                    policy.end_slot(
+                        slot,
+                        Observation(
+                            slot=slot,
+                            network_id=network_id,
+                            bit_rate_mbps=float(rates_act[pos]),
+                            gain=float(gains_act[pos]),
+                            switched=switched,
+                            delay_s=delay,
+                            full_feedback=full_feedback,
+                        ),
+                    )
+                    runtime.previous_choice = network_id
+                    recorder.record_probabilities(row, slot_index, policy)
+
+        return state.finish()

@@ -49,21 +49,43 @@ class Event:
     priority: int = 0
     payload: Any = None
     name: str = ""
+    #: Read-only for callers: cancel through :meth:`cancel`, never by
+    #: assigning this field, or the owning queue's live count desyncs.
     cancelled: bool = False
+    _cancel_hook: Optional[Callable[["Event"], None]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _queued: bool = field(default=False, init=False, repr=False, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._cancel_hook is not None:
+            self._cancel_hook(self)
+            self._cancel_hook = None
 
 
 class EventQueue:
-    """Priority queue of events ordered by (time, priority, insertion order)."""
+    """Priority queue of events ordered by (time, priority, insertion order).
+
+    The queue keeps a live-event counter so that ``len()`` / truthiness are
+    O(1): the counter is incremented on push, and decremented either when a
+    queued event is cancelled or when a live event is popped.  An event may
+    be queued at most once at a time (the engine never re-pushes events).
+    """
 
     def __init__(self) -> None:
         self._heap: list[_QueueEntry] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def push(self, event: Event) -> None:
+        if event._queued:
+            raise ValueError(
+                "event is already queued; an Event may only be queued once at a time"
+            )
         entry = _QueueEntry(
             time=event.time,
             priority=event.priority,
@@ -71,25 +93,37 @@ class EventQueue:
             event=event,
         )
         heapq.heappush(self._heap, entry)
+        event._queued = True
+        if not event.cancelled:
+            self._live += 1
+            event._cancel_hook = self._on_cancel
+
+    def _on_cancel(self, event: Event) -> None:
+        self._live -= 1
 
     def pop(self) -> Event:
         if not self._heap:
             raise IndexError("pop from an empty event queue")
-        return heapq.heappop(self._heap).event
+        event = heapq.heappop(self._heap).event
+        event._queued = False
+        if not event.cancelled:
+            self._live -= 1
+            event._cancel_hook = None
+        return event
 
     def peek_time(self) -> Optional[float]:
         """Time of the next (non-cancelled) event, or ``None`` if empty."""
         while self._heap and self._heap[0].event.cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap).event._queued = False
         if not self._heap:
             return None
         return self._heap[0].time
 
     def __len__(self) -> int:
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return self._live > 0
 
 
 class SimulationEngine:

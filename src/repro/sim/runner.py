@@ -1,193 +1,80 @@
 """Simulation driver: executes a scenario with one policy instance per device.
 
-``run_simulation`` performs a single run on top of the discrete-event engine
-(one event per slot boundary) and returns a
+``run_simulation`` performs a single run through a pluggable execution
+backend (see :mod:`repro.sim.backends`) and returns a
 :class:`repro.sim.metrics.SimulationResult`; ``run_many`` repeats it with
-different seeds, which is how every multi-run experiment of the paper is
-produced.
+different seeds — serially or on a process pool — which is how every
+multi-run experiment of the paper is produced.
+
+Every backend is bit-exact: for a fixed seed, ``backend="event"`` and
+``backend="vectorized"`` return identical results, and a parallel
+``run_many`` returns exactly what the serial loop would.  Run ``i`` uses
+seed ``base_seed + i``; because each run derives all of its RNG streams
+(environment and per-device policies) from its own seed via
+``numpy.random.default_rng``, runs are independent regardless of which
+process executes them.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
-import numpy as np
-
-from repro.algorithms.base import Observation, Policy, PolicyContext
-from repro.algorithms.registry import create_policy
-from repro.sim.engine import SimulationEngine
-from repro.sim.environment import WirelessEnvironment
-from repro.sim.metrics import NO_NETWORK, SimulationResult
+from repro.sim.backends import DEFAULT_BACKEND, get_backend
+from repro.sim.metrics import SimulationResult
 from repro.sim.scenario import Scenario
 
 
-class _DeviceRuntime:
-    """Mutable per-device bookkeeping used during a run."""
-
-    def __init__(self, spec, policy: Policy) -> None:
-        self.spec = spec
-        self.policy = policy
-        self.previous_choice: int | None = None
-        self.visible: frozenset[int] | None = None
-
-
-def _build_policies(scenario: Scenario, rng: np.random.Generator) -> dict[int, _DeviceRuntime]:
-    """Instantiate one policy per device according to the scenario specs."""
-    bandwidths = {n.network_id: n.bandwidth_mbps for n in scenario.networks}
-    # Rank devices within each policy name (used by the Centralized baseline).
-    per_policy_counts: dict[str, int] = {}
-    for spec in scenario.device_specs:
-        per_policy_counts[spec.policy] = per_policy_counts.get(spec.policy, 0) + 1
-    per_policy_seen: dict[str, int] = {}
-
-    runtimes: dict[int, _DeviceRuntime] = {}
-    for spec in scenario.device_specs:
-        device = spec.device
-        visible = scenario.coverage.visible_networks(device, device.join_slot)
-        index = per_policy_seen.get(spec.policy, 0)
-        per_policy_seen[spec.policy] = index + 1
-        context = PolicyContext(
-            network_ids=tuple(sorted(visible)),
-            rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
-            slot_duration_s=scenario.slot_duration_s,
-            network_bandwidths=dict(bandwidths),
-            device_index=index,
-            num_devices=per_policy_counts[spec.policy],
-        )
-        policy = create_policy(spec.policy, context, **spec.policy_kwargs)
-        runtime = _DeviceRuntime(spec, policy)
-        runtime.visible = visible
-        runtimes[device.device_id] = runtime
-    return runtimes
-
-
-def run_simulation(scenario: Scenario, seed: int = 0) -> SimulationResult:
+def run_simulation(
+    scenario: Scenario, seed: int = 0, backend: str = DEFAULT_BACKEND
+) -> SimulationResult:
     """Execute one run of ``scenario`` and return its full slot-by-slot record."""
-    rng = np.random.default_rng(seed)
-    environment = WirelessEnvironment(
-        scenario, np.random.default_rng(rng.integers(0, 2**63 - 1))
-    )
-    runtimes = _build_policies(scenario, rng)
+    return get_backend(backend).execute(scenario, seed)
 
-    num_slots = scenario.horizon_slots
-    device_ids = tuple(sorted(runtimes))
-    network_order = tuple(sorted(scenario.network_map))
-    network_index = {network_id: i for i, network_id in enumerate(network_order)}
-    networks = scenario.network_map
 
-    choices = {d: np.full(num_slots, NO_NETWORK, dtype=np.int64) for d in device_ids}
-    rates = {d: np.zeros(num_slots, dtype=float) for d in device_ids}
-    delays = {d: np.zeros(num_slots, dtype=float) for d in device_ids}
-    switches = {d: np.zeros(num_slots, dtype=bool) for d in device_ids}
-    active = {d: np.zeros(num_slots, dtype=bool) for d in device_ids}
-    probabilities = {
-        d: np.zeros((num_slots, len(network_order)), dtype=float) for d in device_ids
-    }
+def _run_one(args) -> SimulationResult:
+    """Module-level worker so ``run_many`` can dispatch to a process pool.
 
-    any_full_feedback = any(r.policy.needs_full_feedback for r in runtimes.values())
-
-    def process_slot(slot: int) -> None:
-        slot_index = slot - 1
-        # Phase 1: selection.
-        slot_choices: dict[int, int] = {}
-        for device_id in device_ids:
-            runtime = runtimes[device_id]
-            device = runtime.spec.device
-            if not device.is_active(slot):
-                continue
-            visible = scenario.coverage.visible_networks(device, slot)
-            if visible != runtime.visible:
-                runtime.policy.update_available_networks(visible)
-                runtime.visible = visible
-            slot_choices[device_id] = runtime.policy.begin_slot(slot)
-
-        # Phase 2: realised rates.
-        counts = environment.allocation_counts(slot_choices)
-        realised = environment.realized_rates(slot_choices, slot)
-
-        # Phase 3: feedback and recording.
-        for device_id, network_id in slot_choices.items():
-            runtime = runtimes[device_id]
-            rate = realised[device_id]
-            switched = (
-                runtime.previous_choice is not None
-                and runtime.previous_choice != network_id
-            )
-            delay = environment.switching_delay(network_id) if switched else 0.0
-            gain = environment.scaled_gain(rate)
-            full_feedback = None
-            if any_full_feedback and runtime.policy.needs_full_feedback:
-                full_feedback = environment.counterfactual_gains(
-                    counts, network_id, runtime.visible or frozenset()
-                )
-            observation = Observation(
-                slot=slot,
-                network_id=network_id,
-                bit_rate_mbps=rate,
-                gain=gain,
-                switched=switched,
-                delay_s=delay,
-                full_feedback=full_feedback,
-            )
-            runtime.policy.end_slot(slot, observation)
-            runtime.previous_choice = network_id
-
-            choices[device_id][slot_index] = network_id
-            rates[device_id][slot_index] = rate
-            delays[device_id][slot_index] = delay
-            switches[device_id][slot_index] = switched
-            active[device_id][slot_index] = True
-            for probe_network, probability in runtime.policy.probabilities.items():
-                column = network_index.get(probe_network)
-                if column is not None:
-                    probabilities[device_id][slot_index, column] = probability
-
-    engine = SimulationEngine()
-    slot_duration = scenario.slot_duration_s
-
-    def slot_handler(sim_engine: SimulationEngine, event) -> None:
-        slot = int(round(sim_engine.now / slot_duration)) + 1
-        if slot > num_slots:
-            sim_engine.stop()
-            return
-        process_slot(slot)
-
-    engine.schedule_periodic(start=0.0, interval=slot_duration, callback=slot_handler)
-    engine.run(until=(num_slots - 1) * slot_duration)
-
-    resets = {
-        device_id: runtimes[device_id].policy.reset_count for device_id in device_ids
-    }
-    policy_names = {
-        device_id: runtimes[device_id].spec.policy for device_id in device_ids
-    }
-    return SimulationResult(
-        scenario_name=scenario.name,
-        seed=seed,
-        num_slots=num_slots,
-        slot_duration_s=scenario.slot_duration_s,
-        networks=dict(networks),
-        device_ids=device_ids,
-        policy_names=policy_names,
-        choices=choices,
-        rates_mbps=rates,
-        delays_s=delays,
-        switches=switches,
-        active=active,
-        probabilities=probabilities,
-        resets=resets,
-    )
+    The parent ships the resolved executor instance (not the backend name),
+    so custom backends registered via ``register_backend`` do not depend on
+    the worker's freshly imported registry.  On spawn/forkserver platforms
+    this still requires the executor class to be picklable, i.e. importable
+    by module path in the worker (a class defined in a REPL is not).
+    """
+    scenario, seed, executor = args
+    return executor.execute(scenario, seed)
 
 
 def run_many(
     scenario: Scenario,
     runs: int,
     base_seed: int = 0,
+    backend: str = DEFAULT_BACKEND,
+    workers: int | None = None,
 ) -> list[SimulationResult]:
-    """Run ``scenario`` ``runs`` times with consecutive seeds."""
+    """Run ``scenario`` ``runs`` times with consecutive seeds.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend for every run (see :func:`repro.sim.backends.available_backends`).
+    workers:
+        ``None``, ``0`` or ``1`` runs serially in-process.  Any larger value
+        fans the runs out over a ``ProcessPoolExecutor`` with up to that many
+        workers; results come back in seed order and are bit-identical to a
+        serial run.
+    """
     if runs < 1:
         raise ValueError("runs must be >= 1")
-    return [run_simulation(scenario, seed=base_seed + i) for i in range(runs)]
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    seeds = [base_seed + i for i in range(runs)]
+    if workers is not None and workers > 1 and runs > 1:
+        executor = get_backend(backend)  # resolve (and validate) in the parent
+        jobs = [(scenario, seed, executor) for seed in seeds]
+        with ProcessPoolExecutor(max_workers=min(workers, runs)) as pool:
+            return list(pool.map(_run_one, jobs))
+    return [run_simulation(scenario, seed=seed, backend=backend) for seed in seeds]
 
 
 def run_policies(
@@ -195,9 +82,17 @@ def run_policies(
     policies: Sequence[str],
     runs: int,
     base_seed: int = 0,
+    backend: str = DEFAULT_BACKEND,
+    workers: int | None = None,
 ) -> dict[str, list[SimulationResult]]:
     """Run the same scenario once per policy name (all devices use that policy)."""
     results: dict[str, list[SimulationResult]] = {}
     for policy in policies:
-        results[policy] = run_many(scenario.with_policy(policy), runs, base_seed)
+        results[policy] = run_many(
+            scenario.with_policy(policy),
+            runs,
+            base_seed,
+            backend=backend,
+            workers=workers,
+        )
     return results

@@ -36,6 +36,69 @@ class TestEventQueue:
         assert queue.peek_time() is None
         assert not queue
 
+    def test_len_tracks_live_events(self):
+        queue = EventQueue()
+        events = [Event(time=float(t), callback=lambda e, ev: None) for t in range(4)]
+        for event in events:
+            queue.push(event)
+        assert len(queue) == 4
+        events[1].cancel()
+        assert len(queue) == 3
+        events[1].cancel()  # cancelling twice must not double-decrement
+        assert len(queue) == 3
+        assert queue.pop() is events[0]
+        assert len(queue) == 2
+        assert queue.pop() is events[1]  # cancelled event pops without counting
+        assert len(queue) == 2
+        queue.pop()
+        queue.pop()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_cancel_after_pop_does_not_corrupt_len(self):
+        queue = EventQueue()
+        first = Event(time=1.0, callback=lambda e, ev: None)
+        second = Event(time=2.0, callback=lambda e, ev: None)
+        queue.push(first)
+        queue.push(second)
+        popped = queue.pop()
+        popped.cancel()
+        assert len(queue) == 1
+        assert queue
+
+    def test_pushing_already_cancelled_event_not_counted(self):
+        queue = EventQueue()
+        event = Event(time=1.0, callback=lambda e, ev: None)
+        event.cancel()
+        queue.push(event)
+        assert len(queue) == 0
+        assert not queue
+
+    def test_double_push_rejected_while_queued(self):
+        queue = EventQueue()
+        event = Event(time=1.0, callback=lambda e, ev: None)
+        queue.push(event)
+        with pytest.raises(ValueError, match="already queued"):
+            queue.push(event)
+        with pytest.raises(ValueError, match="already queued"):
+            EventQueue().push(event)
+        # Once popped, the event may be queued again.
+        assert queue.pop() is event
+        queue.push(event)
+        assert len(queue) == 1
+
+    def test_double_push_rejected_for_cancelled_events_too(self):
+        queue = EventQueue()
+        event = Event(time=1.0, callback=lambda e, ev: None)
+        queue.push(event)
+        event.cancel()
+        with pytest.raises(ValueError, match="already queued"):
+            queue.push(event)
+        # Draining the cancelled entry (via peek) releases the event.
+        assert queue.peek_time() is None
+        queue.push(event)
+        assert len(queue) == 0  # still cancelled, so not counted as live
+
 
 class TestSimulationEngine:
     def test_processes_events_in_time_order(self):
