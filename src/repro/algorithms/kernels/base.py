@@ -1,0 +1,165 @@
+"""The :class:`BatchKernel` protocol and shared array helpers.
+
+A batch kernel executes *all* devices of one policy family as array programs
+over ``(num_devices × num_networks)`` NumPy state.  The vectorized backend
+groups the live (non-frozen) devices of a segment by
+``(kernel class, group key)`` — devices in one group share the policy class,
+the visible-network set and any configuration the kernel declares relevant —
+builds one kernel per group, and replaces the ``2·N`` per-slot Python calls
+(``begin_slot`` / ``end_slot`` per device) with one fused ``begin_slot`` /
+``end_slot`` pair per kernel.
+
+Lifecycle (all within one topology segment, where the active set and every
+device's visible networks are constant):
+
+1. ``__init__`` *gathers* the scalar policies' state into arrays.
+2. ``begin_slot`` returns the global network-column choice for every row.
+3. ``end_slot`` consumes the realised gains, updates the batched state and
+   writes the per-slot mixed strategies into the recorder as one block write.
+4. ``flush`` *scatters* the state back into the scalar policy objects, so
+   reference slots at the next topology boundary (and the final result
+   assembly) observe exactly the state a pure scalar execution would have.
+
+The RNG-equivalence contract is documented in
+:mod:`repro.algorithms.kernels`; the helpers below implement its two pillars:
+single-draw CDF inversion that is bit-compatible with
+``numpy.random.Generator.choice`` and a sequential row sum that reproduces
+Python's left-to-right ``sum()`` exactly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.algorithms.base import Policy
+
+
+@dataclass
+class SlotFeedback:
+    """Per-slot physics context handed to kernels that need full feedback.
+
+    ``member_gain`` / ``join_gain`` are global per-network-column arrays (the
+    closed-form equal-share counterfactuals); on the generic physics path they
+    are ``None`` and ``counts`` + ``environment`` provide the dict-based
+    fallback used by the reference backend.
+    """
+
+    member_gain: np.ndarray | None = None
+    join_gain: np.ndarray | None = None
+    counts: dict[int, int] | None = None
+    environment: object | None = None
+
+
+def sequential_row_sum(matrix: np.ndarray) -> np.ndarray:
+    """Row sums accumulated strictly left to right.
+
+    Reproduces bit-for-bit what ``sum(dict.values())`` computes in the scalar
+    policies (Python's ``sum`` is a sequential left-to-right reduction, while
+    ``np.sum`` switches to pairwise summation for longer rows).
+    """
+    total = matrix[:, 0].copy()
+    for col in range(1, matrix.shape[1]):
+        total += matrix[:, col]
+    return total
+
+
+def sample_rows(
+    prob_matrix: np.ndarray, rngs: Sequence[np.random.Generator]
+) -> np.ndarray:
+    """One categorical sample per row, bit-compatible with ``Generator.choice``.
+
+    Replicates ``rng.choice(ids, p=probs / probs.sum())`` for every row while
+    consuming exactly one uniform double from each row's private generator —
+    the identical stream position the scalar policy would leave behind.  The
+    replicated pipeline is the one inside ``Generator.choice``:
+    normalise → cumulative sum → divide by the last partial sum →
+    ``searchsorted(..., side="right")`` on one uniform draw.
+    """
+    probs = prob_matrix / np.sum(prob_matrix, axis=1, keepdims=True)
+    cdf = np.cumsum(probs, axis=1)
+    cdf /= cdf[:, -1:]
+    draws = np.asarray([rng.random() for rng in rngs], dtype=float)
+    indices = (cdf <= draws[:, None]).sum(axis=1)
+    return np.minimum(indices, prob_matrix.shape[1] - 1)
+
+
+class BatchKernel(ABC):
+    """Batched execution of one group of devices sharing a policy family."""
+
+    #: ``"bit-exact"`` when every RNG consumption is replicated draw-for-draw
+    #: (all built-in kernels), ``"distribution-exact"`` when only the sampling
+    #: distribution is preserved (third-party kernels may opt into this; the
+    #: equivalence suite then applies statistical instead of bit tests).
+    equivalence: str = "bit-exact"
+    #: Mirrors :attr:`repro.algorithms.base.Policy.needs_full_feedback` for
+    #: the executor's counterfactual-gain gating.
+    needs_full_feedback: bool = False
+
+    @classmethod
+    def group_key(cls, policy: Policy) -> Hashable | None:
+        """Hashable batching key for ``policy``; ``None`` → scalar fallback.
+
+        Devices end up in the same kernel instance iff their kernel class and
+        group key are equal.  The visible-network set is always part of the
+        key, so one kernel's state matrices share a single network axis.
+        """
+        return (type(policy), policy.available_networks)
+
+    def __init__(
+        self,
+        entries: Sequence[tuple[int, int, object, Policy]],
+        recorder,
+    ) -> None:
+        """Gather ``entries`` (``(pos, row, runtime, policy)`` in ascending
+        device order, as produced by the vectorized backend) into array state.
+        """
+        self.positions = np.asarray([e[0] for e in entries], dtype=np.intp)
+        self.rows = np.asarray([e[1] for e in entries], dtype=np.intp)
+        self.runtimes = [e[2] for e in entries]
+        self.policies: list[Policy] = [e[3] for e in entries]
+        self.recorder = recorder
+        first = self.policies[0]
+        #: The group's network ids in ascending order — the shared column axis
+        #: of every state matrix, identical to each policy's
+        #: ``available_networks``.
+        self.nets: tuple[int, ...] = first.available_networks
+        self.num_networks = len(self.nets)
+        #: Global recorder columns for the group's networks.
+        self.cols = np.asarray(
+            [recorder.network_col[n] for n in self.nets], dtype=np.intp
+        )
+        #: Local column of each group network id (inverse of ``nets``).
+        self.col_of = {net: col for col, net in enumerate(self.nets)}
+        self.rngs = [p.rng for p in self.policies]
+        self.size = len(self.policies)
+        self._arange = np.arange(self.size)
+
+    def record_probability_block(
+        self, slot_index: int, values: np.ndarray
+    ) -> None:
+        """Write the group's mixed strategies for one slot as one block write."""
+        self.recorder.probabilities[
+            self.rows[:, None], slot_index, self.cols[None, :]
+        ] = values
+
+    @abstractmethod
+    def begin_slot(self, slot: int) -> np.ndarray:
+        """Select one network per row; returns *global* network columns."""
+
+    @abstractmethod
+    def end_slot(
+        self,
+        slot: int,
+        slot_index: int,
+        gains: np.ndarray,
+        feedback: SlotFeedback | None = None,
+    ) -> None:
+        """Consume the slot's realised gains and record the mixed strategies."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Scatter the batched state back into the scalar policy objects."""

@@ -1,0 +1,111 @@
+"""Batched EXP3: the multiplicative-weights update as one array op per slot.
+
+All EXP3 devices of a segment advance together: one ``(devices × networks)``
+probability computation, one uniform draw per device (CDF inversion, see
+:func:`repro.algorithms.kernels.base.sample_rows`), one fused importance-
+weighted update, one block write of the recorded strategies.  Every floating
+point expression mirrors :class:`repro.algorithms.exp3.EXP3Policy` operation
+for operation, so the kernel is bit-exact with the scalar policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.kernels.base import (
+    BatchKernel,
+    SlotFeedback,
+    sample_rows,
+    sequential_row_sum,
+)
+
+_NO_GAMMA = -1.0  # sentinel: decaying gamma (fixed gammas are in (0, 1])
+
+
+class EXP3Kernel(BatchKernel):
+    """Array-native EXP3 over all devices of one group."""
+
+    def __init__(self, entries, recorder) -> None:
+        super().__init__(entries, recorder)
+        policies = self.policies
+        # EXP3Policy keeps its weights as an array aligned with
+        # available_networks (exposed as weight_values), so the gather is a
+        # plain row stack.
+        self.weights = np.stack([p.weight_values for p in policies])
+        self.rounds = np.asarray([p._round for p in policies], dtype=np.int64)
+        self.fixed_gamma = np.asarray(
+            [
+                _NO_GAMMA if p._fixed_gamma is None else p._fixed_gamma
+                for p in policies
+            ],
+            dtype=float,
+        )
+        self._probs: np.ndarray | None = None
+        self._last_local = np.zeros(self.size, dtype=np.intp)
+        self._last_probability = np.ones(self.size, dtype=float)
+
+    def _gammas(self) -> np.ndarray:
+        """Per-row exploration rate, replicating the scalar arithmetic.
+
+        The decayed rate is computed with Python ``**`` per *distinct* round
+        count (device cohorts share rounds, so this loop is O(1) in practice),
+        matching ``EXP3Policy._gamma`` bit for bit.
+        """
+        gamma = self.fixed_gamma.copy()
+        decay = gamma == _NO_GAMMA
+        if decay.any():
+            rounds = self.rounds[decay]
+            values = np.empty(rounds.size, dtype=float)
+            for r in np.unique(rounds):
+                values[rounds == r] = min(1.0, max(int(r), 1) ** (-1.0 / 3.0))
+            gamma[decay] = values
+        return gamma
+
+    def begin_slot(self, slot: int) -> np.ndarray:
+        self.rounds += 1
+        gamma = self._gammas()
+        weights = self.weights
+        total = np.sum(weights, axis=1)
+        k = self.num_networks
+        probs = (1.0 - gamma)[:, None] * weights / total[:, None] + (gamma / k)[
+            :, None
+        ]
+        self._probs = probs
+        local = sample_rows(probs, self.rngs)
+        self._last_local = local
+        self._last_probability = probs[self._arange, local]
+        return self.cols[local]
+
+    def end_slot(
+        self,
+        slot: int,
+        slot_index: int,
+        gains: np.ndarray,
+        feedback: SlotFeedback | None = None,
+    ) -> None:
+        gamma = self._gammas()
+        estimated = gains / np.maximum(self._last_probability, 1e-12)
+        k = self.num_networks
+        self.weights[self._arange, self._last_local] *= np.exp(
+            gamma * estimated / k
+        )
+        row_max = self.weights.max(axis=1)
+        needs_scaling = (row_max > 1e100) | (row_max < 1e-100)
+        if needs_scaling.any():
+            self.weights[needs_scaling] /= row_max[needs_scaling, None]
+        # EXP3Policy.probabilities renormalises by a Python sum() — replicate
+        # the left-to-right accumulation before the block write.
+        probs = self._probs
+        total = sequential_row_sum(probs)
+        self.record_probability_block(slot_index, probs / total[:, None])
+
+    def flush(self) -> None:
+        probs = self._probs
+        for j, policy in enumerate(self.policies):
+            policy.weight_values[:] = self.weights[j]
+            policy._round = int(self.rounds[j])
+            policy._last_choice = self.nets[self._last_local[j]]
+            policy._last_probability = float(self._last_probability[j])
+            if probs is not None:
+                policy._current_prob_ids = self.nets
+                policy._current_prob_values = probs[j].copy()

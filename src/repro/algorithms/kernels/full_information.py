@@ -1,0 +1,104 @@
+"""Batched Full Information (Hedge): full-feedback updates as matrix ops.
+
+The counterfactual feedback the scalar policy receives as a per-device dict
+becomes a ``(devices × networks)`` gain matrix assembled from the backend's
+closed-form member/join counterfactual vectors (or, on the generic physics
+path, from the environment's dict API), and the per-network loss update
+``w ← w · exp(−η · loss)`` becomes one fused array expression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.kernels.base import BatchKernel, SlotFeedback, sample_rows
+
+_NO_ETA = -1.0  # sentinel: decaying eta (fixed etas are positive)
+
+
+class FullInformationKernel(BatchKernel):
+    """Array-native multiplicative weights with full feedback."""
+
+    needs_full_feedback = True
+
+    def __init__(self, entries, recorder) -> None:
+        super().__init__(entries, recorder)
+        policies = self.policies
+        self.weights = np.asarray(
+            [[p._weights[n] for n in self.nets] for p in policies], dtype=float
+        )
+        self.rounds = np.asarray([p._round for p in policies], dtype=np.int64)
+        self.fixed_eta = np.asarray(
+            [_NO_ETA if p._fixed_eta is None else p._fixed_eta for p in policies],
+            dtype=float,
+        )
+        self._last_local = np.zeros(self.size, dtype=np.intp)
+
+    def _etas(self) -> np.ndarray:
+        eta = self.fixed_eta.copy()
+        decay = eta == _NO_ETA
+        if decay.any():
+            # Scalar: sqrt(ln k / t) with k floored at 2, t floored at 1.
+            k = max(self.num_networks, 2)
+            eta[decay] = np.sqrt(np.log(k) / np.maximum(self.rounds[decay], 1))
+        return eta
+
+    def begin_slot(self, slot: int) -> np.ndarray:
+        self.rounds += 1
+        total = np.sum(self.weights, axis=1)
+        probs = self.weights / total[:, None]
+        local = sample_rows(probs, self.rngs)
+        self._last_local = local
+        return self.cols[local]
+
+    def _feedback_matrix(self, feedback: SlotFeedback) -> np.ndarray:
+        if feedback.member_gain is not None:
+            gains = np.broadcast_to(
+                feedback.join_gain[self.cols], (self.size, self.num_networks)
+            ).copy()
+            chosen_cols = self.cols[self._last_local]
+            gains[self._arange, self._last_local] = feedback.member_gain[
+                chosen_cols
+            ]
+            return gains
+        # Generic physics path: the environment's dict API, one row per device
+        # (identical to what the reference backend hands the scalar policy).
+        gains = np.zeros((self.size, self.num_networks), dtype=float)
+        for j, runtime in enumerate(self.runtimes):
+            per_network = feedback.environment.counterfactual_gains(
+                feedback.counts,
+                self.nets[self._last_local[j]],
+                runtime.visible or frozenset(),
+            )
+            for col, net in enumerate(self.nets):
+                gains[j, col] = float(per_network.get(net, 0.0))
+        return gains
+
+    def end_slot(
+        self,
+        slot: int,
+        slot_index: int,
+        gains: np.ndarray,
+        feedback: SlotFeedback | None = None,
+    ) -> None:
+        if feedback is None:
+            raise ValueError(
+                "FullInformationKernel requires counterfactual feedback"
+            )
+        eta = self._etas()
+        losses = 1.0 - np.minimum(np.maximum(self._feedback_matrix(feedback), 0.0), 1.0)
+        self.weights *= np.exp(-eta[:, None] * losses)
+        row_max = self.weights.max(axis=1)
+        needs_scaling = (row_max > 1e100) | (row_max < 1e-100)
+        if needs_scaling.any():
+            self.weights[needs_scaling] /= row_max[needs_scaling, None]
+        total = np.sum(self.weights, axis=1)
+        self.record_probability_block(slot_index, self.weights / total[:, None])
+
+    def flush(self) -> None:
+        for j, policy in enumerate(self.policies):
+            policy._weights = {
+                net: float(w) for net, w in zip(self.nets, self.weights[j])
+            }
+            policy._round = int(self.rounds[j])
+            policy._last_choice = self.nets[self._last_local[j]]

@@ -1,0 +1,558 @@
+"""Batched Smart EXP3: the full four-mechanism state machine over arrays.
+
+Every Smart EXP3 mechanism keeps its state as rows of ``(devices × networks)``
+(or per-device) arrays:
+
+* adaptive blocking — current-block network/length/elapsed/total-gain rows
+  plus the per-network selection counters;
+* greedy choices — gain-sum/count matrices and the greedy-gate latch;
+* switch-back — a rolling tail of the current block's gains (the trailing
+  ``switchback_window`` slots) and the previous block's tail;
+* minimal reset — per-device connection histories for the drop detector and
+  the usage counters behind ``i_max``.
+
+Per slot, devices *inside* a block are pure array traffic (one fused gain
+accumulation, tracker scatter-add, mask evaluation for switch-back/drop, and
+one batched weight update + probability block write).  Only devices *starting
+a block* run scalar mask construction: the *only* RNG consumers of Smart EXP3
+live in block starts (the exploration draw, the greedy coin, the distribution
+sample), and block starts shrink geometrically with block growth, so the
+scalar residue amortises to nothing.  RNG draws use each device's private
+generator exactly as the scalar policy would (direct ``choice``/``random``
+calls for exploration and the coin, single-uniform CDF inversion for the
+distribution sample), keeping the kernel bit-exact.
+
+State round-trips through the scalar policy at segment boundaries via the
+array-view accessors on the :mod:`repro.core` mechanism classes
+(``export_counts``/``load_counts``, ``export_arrays``/``load_arrays``,
+``export_state``/``load_state``, ``load_latched``).  One subtlety: the scalar
+``Block`` stores every per-slot gain, while the kernel keeps only the running
+total, the trailing window, and the sequential partial sum of everything that
+left the window.  The scatter therefore fabricates a gain list — zeros, the
+partial sum, then the tail — whose Python left-to-right ``sum()`` and length
+reproduce the true block total and elapsed-slot count bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.kernels.base import BatchKernel, SlotFeedback, sample_rows
+from repro.core.blocking import Block, SelectionType
+from repro.core.smart_exp3 import SmartEXP3Policy
+from repro.core.switchback import BlockHistory
+
+_NONE = -1  # sentinel for "no network" / "no block" / "not latched"
+
+_TYPE_LIST = (
+    SelectionType.EXPLORATION,
+    SelectionType.RANDOM,
+    SelectionType.RANDOM_AFTER_COIN,
+    SelectionType.GREEDY,
+    SelectionType.SWITCH_BACK,
+)
+_TYPE_CODE = {selection_type: code for code, selection_type in enumerate(_TYPE_LIST)}
+_EXPLORATION = _TYPE_CODE[SelectionType.EXPLORATION]
+_SWITCH_BACK = _TYPE_CODE[SelectionType.SWITCH_BACK]
+
+
+class SmartEXP3Kernel(BatchKernel):
+    """Array-native Smart EXP3 (and its Table-III variants, via the config)."""
+
+    @classmethod
+    def group_key(cls, policy):
+        # The config drives every mechanism flag and constant, so devices
+        # batch together only when their whole parameterisation matches.
+        return (type(policy), policy.available_networks, policy.config)
+
+    def __init__(self, entries, recorder) -> None:
+        super().__init__(entries, recorder)
+        policies: list[SmartEXP3Policy] = self.policies
+        first = policies[0]
+        self.config = first.config
+        detector = first._reset_policy.drop_detector
+        self.sb_window = self.config.switchback_window
+        self.drop_window = detector.window_slots
+        self.min_conn = detector.min_connection_slots
+        self.drop_fraction = detector.drop_fraction
+        self.max_hist = detector.reference_window_slots + detector.window_slots
+
+        size = self.size
+        col_of = self.col_of
+
+        self.weights = np.asarray(
+            [[p._weights[n] for n in self.nets] for p in policies], dtype=float
+        )
+        self.sel_counts = np.asarray(
+            [p._scheduler.export_counts(self.nets) for p in policies],
+            dtype=np.int64,
+        )
+        tracker_rows = [p._gain_tracker.export_arrays(self.nets) for p in policies]
+        self.gain_sum = np.asarray([row[0] for row in tracker_rows], dtype=float)
+        self.gain_cnt = np.asarray([row[1] for row in tracker_rows], dtype=np.int64)
+        self.usage = np.asarray(
+            [[p._slot_usage.get(n, 0) for n in self.nets] for p in policies],
+            dtype=np.int64,
+        )
+        self.explore = np.asarray(
+            [[n in p._explore_set for n in self.nets] for p in policies],
+            dtype=bool,
+        )
+        self.latched = np.asarray(
+            [
+                _NONE
+                if p._greedy_gate.latched_length is None
+                else p._greedy_gate.latched_length
+                for p in policies
+            ],
+            dtype=np.int64,
+        )
+        self.block_index = np.asarray(
+            [p._block_index for p in policies], dtype=np.int64
+        )
+        self.reset_count = np.asarray(
+            [p.reset_count for p in policies], dtype=np.int64
+        )
+        self.last_probs = np.asarray(
+            [
+                [p._current_probabilities.get(n, 0.0) for n in self.nets]
+                for p in policies
+            ],
+            dtype=float,
+        )
+
+        # Current block rows.
+        self.blk_net = np.full(size, _NONE, dtype=np.intp)
+        self.blk_len = np.ones(size, dtype=np.int64)
+        self.blk_elapsed = np.zeros(size, dtype=np.int64)
+        self.blk_total = np.zeros(size, dtype=float)
+        self.blk_prob = np.ones(size, dtype=float)
+        self.blk_type = np.zeros(size, dtype=np.int8)
+        self.blk_trunc = np.zeros(size, dtype=bool)
+        self.tail = np.zeros((size, self.sb_window), dtype=float)
+        self.tail_len = np.zeros(size, dtype=np.int64)
+        self.pre_tail_sum = np.zeros(size, dtype=float)
+
+        # Previous-block history (switch-back window).
+        self.prev_net = np.full(size, _NONE, dtype=np.intp)
+        self.prev_gains = np.zeros((size, self.sb_window), dtype=float)
+        self.prev_len = np.zeros(size, dtype=np.int64)
+        self.prev_was_sb = np.asarray(
+            [p._previous_was_switch_back for p in policies], dtype=bool
+        )
+        self.sb_pending = np.asarray(
+            [p._switch_back_pending for p in policies], dtype=bool
+        )
+        self.sb_target = np.asarray(
+            [
+                col_of.get(p._switch_back_target, _NONE)
+                if p._switch_back_target is not None
+                else _NONE
+                for p in policies
+            ],
+            dtype=np.intp,
+        )
+        self.drop_pending = np.asarray(
+            [p._drop_reset_pending for p in policies], dtype=bool
+        )
+
+        # Drop-detector connection histories.
+        self.det_net = np.full(size, _NONE, dtype=np.intp)
+        self.det_buf = np.zeros((size, self.max_hist), dtype=float)
+        self.det_len = np.zeros(size, dtype=np.int64)
+
+        for j, policy in enumerate(policies):
+            block = policy._current_block
+            if block is not None:
+                self._load_block(j, block)
+            history = policy._previous_history
+            if history is not None and history.network_id in col_of:
+                gains = history.gains[-self.sb_window :]
+                self.prev_net[j] = col_of[history.network_id]
+                self.prev_len[j] = len(gains)
+                self.prev_gains[j, : len(gains)] = gains
+            det_net, det_gains = policy._reset_policy.drop_detector.export_state()
+            if det_net is not None and det_net in col_of:
+                self.det_net[j] = col_of[det_net]
+                self.det_len[j] = len(det_gains)
+                self.det_buf[j, : len(det_gains)] = det_gains
+
+    def _load_block(self, j: int, block: Block) -> None:
+        self.blk_net[j] = self.col_of[block.network_id]
+        self.blk_len[j] = block.length
+        self.blk_elapsed[j] = block.slots_elapsed
+        self.blk_total[j] = float(sum(block.slot_gains))
+        self.blk_prob[j] = block.probability
+        self.blk_type[j] = _TYPE_CODE[block.selection_type]
+        self.blk_trunc[j] = block.truncated
+        tail = block.slot_gains[-self.sb_window :]
+        self.tail_len[j] = len(tail)
+        self.tail[j, : len(tail)] = tail
+        self.pre_tail_sum[j] = float(sum(block.slot_gains[: -self.sb_window]))
+
+    # ----------------------------------------------------------------- gamma
+    def _gammas(self, block_indices: np.ndarray) -> np.ndarray:
+        config = self.config
+        if config.fixed_gamma is not None:
+            return np.full(block_indices.size, config.fixed_gamma)
+        gamma = np.empty(block_indices.size, dtype=float)
+        for value in np.unique(block_indices):
+            gamma[block_indices == value] = min(
+                1.0, max(int(value), 1) ** (-config.gamma_exponent)
+            )
+        return gamma
+
+    def _probability_rows(self, indices: np.ndarray) -> np.ndarray:
+        gamma = self._gammas(self.block_index[indices])
+        weights = self.weights[indices]
+        total = np.sum(weights, axis=1)
+        k = self.num_networks
+        return (1.0 - gamma)[:, None] * weights / total[:, None] + (gamma / k)[
+            :, None
+        ]
+
+    def _block_length(self, j: int, col: int) -> int:
+        return int(
+            math.ceil((1.0 + self.config.beta) ** int(self.sel_counts[j, col]))
+        )
+
+    # ----------------------------------------------------------- block starts
+    def begin_slot(self, slot: int) -> np.ndarray:
+        need_new = (
+            (self.blk_net == _NONE)
+            | self.blk_trunc
+            | (self.blk_elapsed >= self.blk_len)
+        )
+        if need_new.any():
+            indices = np.nonzero(need_new)[0]
+            self.block_index[indices] += 1
+            prob_rows = self._probability_rows(indices)
+            for offset, j in enumerate(indices):
+                self._start_block(int(j), prob_rows[offset])
+        return self.cols[self.blk_net]
+
+    def _start_block(self, j: int, probs: np.ndarray) -> None:
+        config = self.config
+        rng = self.rngs[j]
+        self.last_probs[j] = probs
+        if config.enable_switchback and self.sb_pending[j] and self.sb_target[j] >= 0:
+            net_col = int(self.sb_target[j])
+            probability = 1.0
+            selection = _SWITCH_BACK
+            self.sb_pending[j] = False
+            self.sb_target[j] = _NONE
+        elif config.enable_initial_exploration and self.explore[j].any():
+            candidates = [self.nets[c] for c in np.nonzero(self.explore[j])[0]]
+            probability = 1.0 / len(candidates)
+            net_col = self.col_of[int(rng.choice(candidates))]
+            self.explore[j, net_col] = False
+            selection = _EXPLORATION
+        else:
+            net_col, probability, selection = self._choose_learned(j, probs, rng)
+        length = self._block_length(j, net_col)
+        self.sel_counts[j, net_col] += 1
+        self.blk_net[j] = net_col
+        self.blk_len[j] = length
+        self.blk_elapsed[j] = 0
+        self.blk_total[j] = 0.0
+        self.blk_prob[j] = probability
+        self.blk_type[j] = selection
+        self.blk_trunc[j] = False
+        self.tail_len[j] = 0
+        self.pre_tail_sum[j] = 0.0
+
+    def _choose_learned(
+        self, j: int, probs: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float, int]:
+        config = self.config
+        greedy_considered = config.enable_greedy and self._allows_greedy(j, probs)
+        if greedy_considered and rng.random() < config.greedy_probability:
+            best = self._best_tracked(j)
+            if best is not None:
+                return best, config.greedy_probability, _TYPE_CODE[SelectionType.GREEDY]
+        net_col = int(sample_rows(probs[None, :], [rng])[0])
+        if greedy_considered:
+            probability = float(probs[net_col]) * (1.0 - config.greedy_probability)
+            return net_col, probability, _TYPE_CODE[SelectionType.RANDOM_AFTER_COIN]
+        return net_col, float(probs[net_col]), _TYPE_CODE[SelectionType.RANDOM]
+
+    def _allows_greedy(self, j: int, probs: np.ndarray) -> bool:
+        k = probs.size
+        if k <= 1:
+            return False
+        spread = float(probs.max() - probs.min())
+        if spread <= 1.0 / (k - 1) + 1e-12:
+            return True
+        top_length = self._block_length(j, int(np.argmax(probs)))
+        if self.latched[j] == _NONE:
+            self.latched[j] = top_length
+        return top_length < self.latched[j]
+
+    def _best_tracked(self, j: int) -> int | None:
+        best_col = None
+        best_gain = -1.0
+        for col in range(self.num_networks):
+            count = self.gain_cnt[j, col]
+            if count == 0:
+                continue
+            gain = self.gain_sum[j, col] / count
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_col = col
+        return best_col
+
+    # -------------------------------------------------------------- feedback
+    def end_slot(
+        self,
+        slot: int,
+        slot_index: int,
+        gains: np.ndarray,
+        feedback: SlotFeedback | None = None,
+    ) -> None:
+        config = self.config
+        arange = self._arange
+        net = self.blk_net
+        gain = np.clip(gains, 0.0, 1.0)
+
+        self.blk_elapsed += 1
+        self.blk_total += gain
+        tail_full = self.tail_len >= self.sb_window
+        if tail_full.any():
+            rows = np.nonzero(tail_full)[0]
+            self.pre_tail_sum[rows] += self.tail[rows, 0]
+            self.tail[rows, :-1] = self.tail[rows, 1:]
+            self.tail[rows, -1] = gain[rows]
+        rows = np.nonzero(~tail_full)[0]
+        if rows.size:
+            self.tail[rows, self.tail_len[rows]] = gain[rows]
+            self.tail_len[rows] += 1
+
+        self.gain_sum[arange, net] += gain
+        self.gain_cnt[arange, net] += 1
+        self.usage[arange, net] += 1
+
+        if config.enable_switchback:
+            self._apply_switch_back(gain)
+        if config.enable_reset:
+            self._apply_drop_detection(gain)
+
+        completed = self.blk_trunc | (self.blk_elapsed >= self.blk_len)
+        if completed.any():
+            self._finalize_blocks(np.nonzero(completed)[0])
+
+        # SmartEXP3Policy.probabilities recomputes the distribution from the
+        # (possibly just-updated) weights every slot; one batched evaluation
+        # replaces num_devices property calls + dict copies.
+        self.record_probability_block(
+            slot_index, self._probability_rows(arange)
+        )
+
+    def _apply_switch_back(self, gain: np.ndarray) -> None:
+        candidates = (
+            (self.blk_elapsed == 1)
+            & (self.blk_type != _EXPLORATION)
+            & (self.blk_type != _SWITCH_BACK)
+            & ~self.prev_was_sb
+            & (self.prev_net != _NONE)
+            & (self.prev_len > 0)
+            & (self.prev_net != self.blk_net)
+        )
+        if not candidates.any():
+            return
+        rows = np.nonzero(candidates)[0]
+        history = self.prev_gains[rows]
+        length = self.prev_len[rows]
+        current = gain[rows]
+        total = np.zeros(rows.size, dtype=float)
+        better = np.zeros(rows.size, dtype=np.int64)
+        for col in range(self.sb_window):
+            valid = col < length
+            values = history[:, col]
+            total = np.where(valid, total + values, total)
+            better += valid & (values > current + 1e-12)
+        average = total / length
+        last = history[np.arange(rows.size), length - 1]
+        fraction = better / length
+        switch_back = (
+            (current < average - 1e-12)
+            | (current < last - 1e-12)
+            | (fraction > 0.5)
+        )
+        hit = rows[switch_back]
+        self.blk_trunc[hit] = True
+        self.sb_pending[hit] = True
+        self.sb_target[hit] = self.prev_net[hit]
+
+    def _apply_drop_detection(self, gain: np.ndarray) -> None:
+        net = self.blk_net
+        # i_max: the network used for more than half of all connected slots.
+        totals = self.usage.sum(axis=1)
+        top = np.argmax(self.usage, axis=1)
+        top_counts = self.usage[self._arange, top]
+        is_most_used = (top_counts > 0.5 * totals) & (top == net) & (totals > 0)
+
+        # Connection histories restart whenever the device changes network.
+        changed = self.det_net != net
+        if changed.any():
+            rows = np.nonzero(changed)[0]
+            self.det_net[rows] = net[rows]
+            self.det_len[rows] = 0
+        buffer_full = self.det_len >= self.max_hist
+        if buffer_full.any():
+            rows = np.nonzero(buffer_full)[0]
+            self.det_buf[rows, :-1] = self.det_buf[rows, 1:]
+            self.det_buf[rows, -1] = gain[rows]
+        rows = np.nonzero(~buffer_full)[0]
+        if rows.size:
+            self.det_buf[rows, self.det_len[rows]] = gain[rows]
+            self.det_len[rows] += 1
+
+        check = is_most_used & (self.det_len > self.min_conn + self.drop_window)
+        if not check.any():
+            return
+        dropped_rows: list[np.ndarray] = []
+        for length in np.unique(self.det_len[check]):
+            rows = np.nonzero(check & (self.det_len == length))[0]
+            split = int(length) - self.drop_window
+            reference = np.median(self.det_buf[rows, :split], axis=1)
+            recent = np.median(self.det_buf[rows, split : int(length)], axis=1)
+            dropped = (reference > 0) & (
+                recent <= (1.0 - self.drop_fraction) * reference
+            )
+            dropped_rows.append(rows[dropped])
+        hit = np.concatenate(dropped_rows) if dropped_rows else np.array([], int)
+        self.drop_pending[hit] = True
+        self.blk_trunc[hit] = True
+
+    def _finalize_blocks(self, indices: np.ndarray) -> None:
+        config = self.config
+        k = self.num_networks
+        net = self.blk_net[indices]
+        gamma = self._gammas(self.block_index[indices])
+        estimated = self.blk_total[indices] / np.maximum(
+            self.blk_prob[indices], 1e-12
+        )
+        self.weights[indices, net] *= np.exp(gamma * estimated / k)
+        row_max = self.weights[indices].max(axis=1)
+        needs_scaling = (row_max > 1e100) | (row_max < 1e-100)
+        if needs_scaling.any():
+            rows = indices[needs_scaling]
+            self.weights[rows] /= row_max[needs_scaling, None]
+
+        self.prev_net[indices] = net
+        self.prev_gains[indices] = self.tail[indices]
+        self.prev_len[indices] = self.tail_len[indices]
+        self.prev_was_sb[indices] = self.blk_type[indices] == _SWITCH_BACK
+
+        if not config.enable_reset:
+            return
+        probs = self._probability_rows(indices)
+        top = np.argmax(probs, axis=1)
+        periodic = (
+            probs[np.arange(indices.size), top]
+            >= config.reset_probability_threshold
+        )
+        if periodic.any():
+            for offset in np.nonzero(periodic)[0]:
+                j = int(indices[offset])
+                periodic[offset] = (
+                    self._block_length(j, int(top[offset]))
+                    >= config.reset_block_length_threshold
+                )
+        reset_rows = indices[periodic | self.drop_pending[indices]]
+        if reset_rows.size:
+            self._do_reset(reset_rows)
+
+    def _do_reset(self, rows: np.ndarray) -> None:
+        """Minimal reset: forget blocks and greedy data, keep the weights."""
+        self.sel_counts[rows] = 0
+        self.gain_sum[rows] = 0.0
+        self.gain_cnt[rows] = 0
+        self.det_net[rows] = _NONE
+        self.det_len[rows] = 0
+        if self.config.enable_initial_exploration:
+            self.explore[rows] = True
+        self.sb_pending[rows] = False
+        self.sb_target[rows] = _NONE
+        self.prev_net[rows] = _NONE
+        self.prev_len[rows] = 0
+        self.prev_was_sb[rows] = False
+        self.drop_pending[rows] = False
+        self.reset_count[rows] += 1
+
+    # ------------------------------------------------------------------ flush
+    def flush(self) -> None:
+        nets = self.nets
+        for j, policy in enumerate(self.policies):
+            policy._weights = {
+                net: float(w) for net, w in zip(nets, self.weights[j])
+            }
+            policy._block_index = int(self.block_index[j])
+            policy._scheduler.load_counts(nets, self.sel_counts[j])
+            policy._gain_tracker.load_arrays(
+                nets, self.gain_sum[j], self.gain_cnt[j]
+            )
+            policy._greedy_gate.load_latched(
+                None if self.latched[j] == _NONE else int(self.latched[j])
+            )
+            policy._slot_usage = {
+                net: int(c) for net, c in zip(nets, self.usage[j])
+            }
+            policy._explore_set = {
+                nets[c] for c in np.nonzero(self.explore[j])[0]
+            }
+            policy._switch_back_pending = bool(self.sb_pending[j])
+            policy._switch_back_target = (
+                None if self.sb_target[j] == _NONE else nets[self.sb_target[j]]
+            )
+            policy._drop_reset_pending = bool(self.drop_pending[j])
+            policy._previous_was_switch_back = bool(self.prev_was_sb[j])
+            policy.reset_count = int(self.reset_count[j])
+            policy._current_probabilities = {
+                net: float(p) for net, p in zip(nets, self.last_probs[j])
+            }
+            if self.prev_net[j] == _NONE:
+                policy._previous_history = None
+            else:
+                policy._previous_history = BlockHistory(
+                    network_id=nets[self.prev_net[j]],
+                    gains=[
+                        float(x)
+                        for x in self.prev_gains[j, : self.prev_len[j]]
+                    ],
+                    window=self.sb_window,
+                )
+            detector = policy._reset_policy.drop_detector
+            detector.load_state(
+                None if self.det_net[j] == _NONE else nets[self.det_net[j]],
+                self.det_buf[j, : self.det_len[j]],
+            )
+            policy._current_block = self._export_block(j)
+
+    def _export_block(self, j: int) -> Block | None:
+        if self.blk_net[j] == _NONE:
+            return None
+        elapsed = int(self.blk_elapsed[j])
+        tail_len = int(self.tail_len[j])
+        tail = [float(x) for x in self.tail[j, :tail_len]]
+        if elapsed <= tail_len:
+            slot_gains = tail
+        else:
+            # Fabricate a list whose length and left-to-right sum match the
+            # true per-slot history (see the module docstring).
+            slot_gains = (
+                [0.0] * (elapsed - tail_len - 1)
+                + [float(self.pre_tail_sum[j])]
+                + tail
+            )
+        return Block(
+            index=int(self.block_index[j]),
+            network_id=self.nets[self.blk_net[j]],
+            length=int(self.blk_len[j]),
+            selection_type=_TYPE_LIST[self.blk_type[j]],
+            probability=float(self.blk_prob[j]),
+            slot_gains=slot_gains,
+            truncated=bool(self.blk_trunc[j]),
+        )

@@ -1,4 +1,4 @@
-"""Name-based policy registry.
+"""Name-based policy registry and the policy → batch-kernel association.
 
 Scenarios refer to policies by name so that experiment configurations remain
 declarative and serialisable.  :func:`create_policy` resolves a name and builds
@@ -9,6 +9,12 @@ The built-in names match the algorithm labels of the paper:
 ``exp3``, ``block_exp3``, ``hybrid_block_exp3``, ``smart_exp3``,
 ``smart_exp3_no_reset``, ``greedy``, ``full_information``, ``centralized``,
 ``fixed_random``.
+
+Execution backends that batch policies across devices resolve the batched
+kernel for a policy instance through :func:`kernel_for_policy`; policies
+without a registered kernel (or subclasses that override the per-slot
+interface) fall back to the per-device scalar path, which stays bit-exact
+with the reference backend.
 """
 
 from __future__ import annotations
@@ -55,6 +61,74 @@ def create_policy(name: str, context: PolicyContext, **kwargs) -> Policy:
             f"unknown policy {name!r}; available: {', '.join(available_policies())}"
         )
     return _REGISTRY[name](context, **kwargs)
+
+
+#: Policy class → BatchKernel class.  Populated by
+#: :mod:`repro.algorithms.kernels` on import; kept here so backends have one
+#: lookup point for both policies and kernels.
+_KERNELS: dict[type, type] = {}
+
+#: Class-dict entries a subclass may define without invalidating an
+#: ancestor's kernel: construction and interpreter boilerplate only — any
+#: method or property override could change per-slot behaviour the kernel
+#: does not know about.
+_KERNEL_NEUTRAL_ATTRIBUTES = frozenset(
+    {
+        "__init__",
+        "__doc__",
+        "__module__",
+        "__qualname__",
+        "__annotations__",
+        "__dict__",
+        "__weakref__",
+        "__slots__",
+        "__firstlineno__",
+        "__static_attributes__",
+        "__abstractmethods__",
+        "_abc_impl",
+        "__parameters__",
+    }
+)
+
+
+def register_policy_kernel(
+    policy_type: type, kernel_cls: type, overwrite: bool = False
+) -> None:
+    """Associate a batched execution kernel with a policy class.
+
+    The kernel applies to ``policy_type`` and to subclasses that do not
+    override any per-slot behaviour (e.g. the Block EXP3 variants, which only
+    restrict the Smart EXP3 configuration in ``__init__``).
+    """
+    if policy_type in _KERNELS and not overwrite:
+        raise ValueError(f"a kernel is already registered for {policy_type.__name__}")
+    _KERNELS[policy_type] = kernel_cls
+
+
+def kernel_for_policy(policy: Policy) -> type | None:
+    """The batched kernel class for ``policy``, or ``None`` (scalar fallback).
+
+    Resolution walks the MRO so Smart EXP3 variants share one kernel, but a
+    subclass that defines *anything* beyond ``__init__`` between itself and
+    the registered ancestor gets no kernel: even a private helper override
+    (``_gamma``, ``_choose_learned``, ...) could change per-slot behaviour
+    the batch layer knows nothing about, and only the per-device path is
+    guaranteed correct then.  The Block EXP3 variants qualify — they only
+    restrict the configuration in ``__init__``.
+    """
+    mro = type(policy).__mro__
+    for depth, klass in enumerate(mro):
+        kernel_cls = _KERNELS.get(klass)
+        if kernel_cls is None:
+            continue
+        for intermediate in mro[:depth]:
+            if any(
+                name not in _KERNEL_NEUTRAL_ATTRIBUTES
+                for name in vars(intermediate)
+            ):
+                return None
+        return kernel_cls
+    return None
 
 
 def _make_smart_exp3(context: PolicyContext, **kwargs) -> SmartEXP3Policy:

@@ -108,3 +108,16 @@ class BlockScheduler:
     def counts(self) -> dict[int, int]:
         """Copy of the per-network selection counters (for tests/analysis)."""
         return dict(self._selection_counts)
+
+    # ------------------------------------------------------- batch-kernel I/O
+    def export_counts(self, network_order: tuple[int, ...]) -> list[int]:
+        """Selection counters as a dense row aligned with ``network_order``."""
+        return [self.selection_count(network_id) for network_id in network_order]
+
+    def load_counts(self, network_order: tuple[int, ...], counts) -> None:
+        """Replace the counters from a dense row (inverse of export)."""
+        self._selection_counts = {
+            network_id: int(count)
+            for network_id, count in zip(network_order, counts)
+            if count
+        }

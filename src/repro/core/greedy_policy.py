@@ -60,6 +60,24 @@ class GainTracker:
         self._gain_sum.clear()
         self._gain_count.clear()
 
+    # ------------------------------------------------------- batch-kernel I/O
+    def export_arrays(
+        self, network_order: tuple[int, ...]
+    ) -> tuple[list[float], list[int]]:
+        """Gain sums and observation counts as rows aligned with the order."""
+        sums = [self._gain_sum.get(network_id, 0.0) for network_id in network_order]
+        counts = [self._gain_count.get(network_id, 0) for network_id in network_order]
+        return sums, counts
+
+    def load_arrays(self, network_order: tuple[int, ...], sums, counts) -> None:
+        """Replace the statistics from dense rows (inverse of export)."""
+        self._gain_sum = {}
+        self._gain_count = {}
+        for network_id, total, count in zip(network_order, sums, counts):
+            if count:
+                self._gain_sum[network_id] = float(total)
+                self._gain_count[network_id] = int(count)
+
 
 class GreedyGate:
     """Decides whether the greedy selection may be considered for a block.
@@ -100,3 +118,7 @@ class GreedyGate:
         if self._latched_length is None:
             self._latched_length = top_network_block_length
         return top_network_block_length < self._latched_length
+
+    def load_latched(self, latched_length: int | None) -> None:
+        """Restore the latched ``y`` value (batch-kernel state scatter)."""
+        self._latched_length = latched_length

@@ -102,6 +102,16 @@ class DropDetector:
         self._network_id = None
         self._gains = []
 
+    # ------------------------------------------------------- batch-kernel I/O
+    def export_state(self) -> tuple[int | None, list[float]]:
+        """The tracked connection and its gain history, oldest first."""
+        return self._network_id, list(self._gains)
+
+    def load_state(self, network_id: int | None, gains) -> None:
+        """Restore a connection history (inverse of export)."""
+        self._network_id = network_id
+        self._gains = [float(gain) for gain in gains]
+
 
 class ResetPolicy:
     """Combines the periodic and drop-based reset triggers."""

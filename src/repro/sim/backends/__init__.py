@@ -9,7 +9,11 @@ fast they get there:
 * ``"event"`` — :class:`EventSlotExecutor`, the reference implementation on
   the discrete-event calendar.
 * ``"vectorized"`` — :class:`VectorizedSlotExecutor`, batched NumPy physics
-  with segment-level caching of topology-invariant state.
+  with segment-level caching of topology-invariant state and batched policy
+  kernels (:mod:`repro.algorithms.kernels`) for the learning policies.
+* ``"vectorized-nokernel"`` — the same backend with the kernel layer
+  disabled (every learning policy on the per-device scalar path); exists so
+  benchmarks can measure the kernel layer in isolation.
 
 Third-party backends can be added with :func:`register_backend`; the runner
 resolves names through :func:`get_backend`.
@@ -40,6 +44,7 @@ DEFAULT_BACKEND = "event"
 _BACKENDS: dict[str, Callable[[], SlotExecutor]] = {
     EventSlotExecutor.name: EventSlotExecutor,
     VectorizedSlotExecutor.name: VectorizedSlotExecutor,
+    "vectorized-nokernel": lambda: VectorizedSlotExecutor(use_kernels=False),
 }
 
 

@@ -244,14 +244,16 @@ def execute_reference_slot(state: RunState, slot: int) -> None:
             runtime.visible = visible
         slot_choices[device_id] = runtime.policy.begin_slot(slot)
 
-    # Phase 2: realised rates (allocation counts only feed the
-    # full-information counterfactuals, so they are skipped otherwise).
+    # Phase 2: realised rates.  The association grouping is built once and
+    # shared; allocation counts only feed the full-information
+    # counterfactuals, so they are skipped otherwise.
+    groups = environment.client_groups(slot_choices)
     counts = (
-        environment.allocation_counts(slot_choices)
+        environment.allocation_counts(slot_choices, groups)
         if state.any_full_feedback
         else None
     )
-    realised = environment.realized_rates(slot_choices, slot)
+    realised = environment.realized_rates(slot_choices, slot, groups)
 
     # Phase 3: feedback and recording.
     row_of = recorder.row_of

@@ -1,4 +1,4 @@
-"""Vectorized backend: batched slot physics over NumPy arrays.
+"""Vectorized backend: batched slot physics and batched policy kernels.
 
 The reference (event) backend spends most of its time in per-device Python:
 throwaway dicts for allocation counts and realised rates, per-device scalar
@@ -16,32 +16,47 @@ devices:
 * Devices running a :attr:`~repro.algorithms.base.Policy.stationary` policy
   (Fixed Random, Centralized) are *frozen* within a segment: their choice
   and mixed strategy cannot change between topology slots, so their result
-  rows are broadcast once per segment and the per-slot Python loop only
-  visits learning policies.
+  rows are broadcast once per segment and the per-slot loop never visits
+  them.
+* Learning policies execute through **batched kernels**
+  (:mod:`repro.algorithms.kernels`): devices sharing a policy family and
+  visible-network set advance as one ``(devices × networks)`` array program —
+  one fused selection, one fused update and one probability block write per
+  slot, instead of ``begin_slot``/``end_slot``/``record_probabilities``
+  round-trips per device.  Policies without a registered kernel fall back to
+  the per-device scalar path (registry lookup:
+  :func:`repro.algorithms.registry.kernel_for_policy`).
 * Results are written straight into the preallocated
-  :class:`~repro.sim.backends.base.SlotRecorder` blocks with column/row
+  :class:`~repro.sim.backends.base.SlotRecorder` blocks with column/row/block
   array writes.
 
 Bit-exactness with the event backend is preserved because the RNG streams
-are consumed in the identical order (see :mod:`repro.sim.backends.base`):
-the equal-share gain model draws nothing, switching delays are drawn per
-switching device in ascending device order, and every policy keeps its
-private generator.  Gain models other than :class:`EqualShareModel` consume
-the environment RNG, so they take a generic per-slot path that routes
-through :meth:`WirelessEnvironment.realized_rates` with the same
-device-ordered association dict the event backend builds.
+are consumed in the identical order (see :mod:`repro.sim.backends.base` and
+the kernel contract in :mod:`repro.algorithms.kernels`): the equal-share
+gain model draws nothing, switching delays are drawn per switching device in
+ascending device order, and every policy keeps its private generator — the
+kernels replicate each policy's draws stream-for-stream.  Gain models other
+than :class:`EqualShareModel` consume the environment RNG, so they take a
+generic per-slot path that routes through
+:meth:`WirelessEnvironment.realized_rates` with the same device-ordered
+association grouping the event backend builds (built once per slot and
+shared with the allocation counts).
 
 The first slot of every segment (including slot 1) runs through
 :func:`~repro.sim.backends.base.execute_reference_slot`, so visibility
 updates, policy re-selection after coverage changes and join/leave edges
-share one implementation with the event backend.
+share one implementation with the event backend; kernels gather the scalar
+policy state after that slot and scatter it back at the segment boundary.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+import repro.algorithms.kernels  # noqa: F401  (registers the built-in kernels)
 from repro.algorithms.base import Observation
+from repro.algorithms.kernels.base import SlotFeedback
+from repro.algorithms.registry import kernel_for_policy
 from repro.game.gain import EqualShareModel
 from repro.sim.backends.base import (
     SlotExecutor,
@@ -67,9 +82,18 @@ def _topology_slots(devices, num_slots: int) -> list[int]:
 
 
 class VectorizedSlotExecutor(SlotExecutor):
-    """Batched per-slot physics with segment-level caching."""
+    """Batched per-slot physics with segment-level caching and policy kernels."""
 
     name = "vectorized"
+
+    def __init__(self, use_kernels: bool = True) -> None:
+        #: When False, every learning policy takes the per-device scalar path
+        #: (the PR-1 behaviour); kept addressable as the
+        #: ``"vectorized-nokernel"`` backend so benchmarks can measure the
+        #: kernel layer in isolation.
+        self.use_kernels = use_kernels
+        if not use_kernels:
+            self.name = "vectorized-nokernel"
 
     def execute(self, scenario: Scenario, seed: int = 0) -> SimulationResult:
         state = prepare_run(scenario, seed)
@@ -157,8 +181,6 @@ class VectorizedSlotExecutor(SlotExecutor):
                     live.append((pos, row, runtime, policy))
 
             num_live = len(live)
-            live_rows = np.asarray([row for _, row, _, _ in live], dtype=np.intp)
-            live_nets = np.empty(num_live, dtype=np.int64)
             need_feedback = any_full_feedback and any(
                 policy.needs_full_feedback for _, _, _, policy in live
             )
@@ -174,14 +196,50 @@ class VectorizedSlotExecutor(SlotExecutor):
                     rates2d[np.ix_(act_rows, seg_cols)] = rates_act[:, None]
                 continue
 
+            # Partition the live devices into kernel groups (same kernel
+            # class + batching key) and the per-device scalar fallback.
+            kernels: list = []
+            fallback: list[tuple[int, tuple]] = []
+            if self.use_kernels and num_live:
+                grouped: dict = {}
+                for live_idx, entry in enumerate(live):
+                    policy = entry[3]
+                    kernel_cls = kernel_for_policy(policy)
+                    key = (
+                        kernel_cls.group_key(policy)
+                        if kernel_cls is not None
+                        else None
+                    )
+                    if key is None:
+                        fallback.append((live_idx, entry))
+                    else:
+                        grouped.setdefault((kernel_cls, key), []).append(entry)
+                kernels = [
+                    kernel_cls(entries, recorder)
+                    for (kernel_cls, _), entries in grouped.items()
+                ]
+            else:
+                fallback = list(enumerate(live))
+
+            live_positions = np.asarray([e[0] for e in live], dtype=np.intp)
+            live_rows = np.asarray([e[1] for e in live], dtype=np.intp)
+            # Previous choices of the live devices (every active device made
+            # a selection in the segment's reference slot).
+            prev_cols = np.asarray(
+                [network_col[e[2].previous_choice] for e in live], dtype=np.intp
+            )
+            live_delays = np.zeros(num_live, dtype=float)
+
             for slot in range(seg_start + 1, seg_end):
                 slot_index = slot - 1
 
-                # Phase 1: selection (learning policies only).
-                for j, (pos, row, runtime, policy) in enumerate(live):
-                    network_id = policy.begin_slot(slot)
-                    live_nets[j] = network_id
-                    choice_cols[pos] = network_col[network_id]
+                # Phase 1: selection (kernels batched, fallback per device).
+                for kernel in kernels:
+                    choice_cols[kernel.positions] = kernel.begin_slot(slot)
+                for _, (pos, _, _, policy) in fallback:
+                    choice_cols[pos] = network_col[policy.begin_slot(slot)]
+                cur_cols = choice_cols[live_positions]
+                live_nets = net_ids[cur_cols]
 
                 # Phase 2: realised rates.
                 counts_dict = None
@@ -193,9 +251,14 @@ class VectorizedSlotExecutor(SlotExecutor):
                         device_ids[row]: int(net_ids[choice_cols[pos]])
                         for pos, row in enumerate(act_rows_list)
                     }
+                    groups = environment.client_groups(slot_choices)
                     if any_full_feedback:
-                        counts_dict = environment.allocation_counts(slot_choices)
-                    realised = environment.realized_rates(slot_choices, slot)
+                        counts_dict = environment.allocation_counts(
+                            slot_choices, groups
+                        )
+                    realised = environment.realized_rates(
+                        slot_choices, slot, groups
+                    )
                     rates_act = np.asarray(
                         [realised[device_ids[row]] for row in act_rows_list],
                         dtype=float,
@@ -204,33 +267,59 @@ class VectorizedSlotExecutor(SlotExecutor):
                     rates2d[:, slot_index] = rates_act
                 else:
                     rates2d[act_rows, slot_index] = rates_act
-                if num_live:
-                    choices2d[live_rows, slot_index] = live_nets
+                choices2d[live_rows, slot_index] = live_nets
 
-                # Phase 3: feedback and recording (learning policies only;
-                # frozen rows cannot switch and their rows are pre-broadcast).
+                # Phase 3: feedback and recording (frozen rows cannot switch
+                # and their rows are pre-broadcast).
                 gains_act = np.minimum(rates_act / scale_ref, 1.0)
-                if need_feedback and fast_physics:
-                    member_gain = np.minimum(
-                        np.where(counts <= 1, bandwidths, bandwidths / np.maximum(counts, 1))
-                        / scale_ref,
-                        1.0,
-                    )
-                    join_gain = np.minimum(
-                        np.where(counts == 0, bandwidths, bandwidths / (counts + 1))
-                        / scale_ref,
-                        1.0,
-                    )
-                for j, (pos, row, runtime, policy) in enumerate(live):
-                    network_id = int(live_nets[j])
-                    previous = runtime.previous_choice
-                    switched = previous is not None and previous != network_id
-                    if switched:
-                        delay = environment.switching_delay(network_id)
-                        delays2d[row, slot_index] = delay
-                        switches2d[row, slot_index] = True
+                feedback = None
+                if need_feedback:
+                    if fast_physics:
+                        member_gain = np.minimum(
+                            np.where(
+                                counts <= 1,
+                                bandwidths,
+                                bandwidths / np.maximum(counts, 1),
+                            )
+                            / scale_ref,
+                            1.0,
+                        )
+                        join_gain = np.minimum(
+                            np.where(
+                                counts == 0, bandwidths, bandwidths / (counts + 1)
+                            )
+                            / scale_ref,
+                            1.0,
+                        )
+                        feedback = SlotFeedback(
+                            member_gain=member_gain, join_gain=join_gain
+                        )
                     else:
-                        delay = 0.0
+                        feedback = SlotFeedback(
+                            counts=counts_dict, environment=environment
+                        )
+
+                # Switching delays consume the environment RNG per switching
+                # device in ascending device order — shared across kernels and
+                # fallback, exactly as the reference backend draws them.
+                switched_live = cur_cols != prev_cols
+                if switched_live.any():
+                    switcher_idx = np.nonzero(switched_live)[0]
+                    delays = environment.switching_delays(
+                        [int(live_nets[i]) for i in switcher_idx]
+                    )
+                    switcher_rows = live_rows[switcher_idx]
+                    delays2d[switcher_rows, slot_index] = delays
+                    switches2d[switcher_rows, slot_index] = True
+                    live_delays[switcher_idx] = delays
+
+                for kernel in kernels:
+                    kernel.end_slot(
+                        slot, slot_index, gains_act[kernel.positions], feedback
+                    )
+                for live_idx, (pos, row, runtime, policy) in fallback:
+                    network_id = int(live_nets[live_idx])
+                    switched = bool(switched_live[live_idx])
                     full_feedback = None
                     if any_full_feedback and policy.needs_full_feedback:
                         visible = runtime.visible or frozenset()
@@ -254,11 +343,24 @@ class VectorizedSlotExecutor(SlotExecutor):
                             bit_rate_mbps=float(rates_act[pos]),
                             gain=float(gains_act[pos]),
                             switched=switched,
-                            delay_s=delay,
+                            delay_s=float(live_delays[live_idx]) if switched else 0.0,
                             full_feedback=full_feedback,
                         ),
                     )
                     runtime.previous_choice = network_id
                     recorder.record_probabilities(row, slot_index, policy)
+
+                prev_cols = cur_cols
+
+            # Segment boundary: scatter the kernels' state back into the
+            # scalar policies so reference slots (and the final result
+            # assembly) observe exactly the scalar-path state.
+            for kernel in kernels:
+                kernel.flush()
+                final_nets = net_ids[prev_cols[
+                    np.searchsorted(live_positions, kernel.positions)
+                ]]
+                for runtime, network_id in zip(kernel.runtimes, final_nets):
+                    runtime.previous_choice = int(network_id)
 
         return state.finish()

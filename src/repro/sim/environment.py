@@ -28,13 +28,31 @@ class WirelessEnvironment:
         self.networks: dict[int, Network] = scenario.network_map
         self.scale_reference_mbps = scenario.scale_reference_mbps
 
-    def realized_rates(
-        self, associations: dict[int, int], slot: int
-    ) -> dict[int, float]:
-        """Per-device bit rate (Mbps) given the slot's device→network associations."""
+    def client_groups(self, associations: dict[int, int]) -> dict[int, list[int]]:
+        """Device ids grouped per network, in first-appearance network order.
+
+        The grouping feeds both :meth:`realized_rates` and
+        :meth:`allocation_counts`; callers that need both should build it once
+        and pass it to each, instead of paying the device iteration twice.
+        """
         clients: dict[int, list[int]] = {}
         for device_id, network_id in associations.items():
             clients.setdefault(network_id, []).append(device_id)
+        return clients
+
+    def realized_rates(
+        self,
+        associations: dict[int, int],
+        slot: int,
+        groups: dict[int, list[int]] | None = None,
+    ) -> dict[int, float]:
+        """Per-device bit rate (Mbps) given the slot's device→network associations.
+
+        ``groups`` may carry a precomputed :meth:`client_groups` result; the
+        gain model is consulted per network in the grouping's insertion order
+        either way, so the RNG stream is unaffected.
+        """
+        clients = groups if groups is not None else self.client_groups(associations)
         rates: dict[int, float] = {}
         for network_id, members in clients.items():
             network_rates = self.scenario.gain_model.rates(
@@ -47,6 +65,19 @@ class WirelessEnvironment:
         """Delay (seconds) for switching onto ``network_id``, capped at one slot."""
         delay = self.scenario.delay_model.sample(self.networks[network_id], self.rng)
         return float(min(max(delay, 0.0), self.scenario.slot_duration_s))
+
+    def switching_delays(self, network_ids: list[int]) -> list[float]:
+        """Delays for one slot's switching devices, in ascending device order.
+
+        Bit-identical to calling :meth:`switching_delay` per device (the delay
+        models' batched draws are stream-stable), but pays the sampler call
+        overhead once per run of same-type networks instead of once per switch.
+        """
+        delays = self.scenario.delay_model.sample_many(
+            [self.networks[network_id] for network_id in network_ids], self.rng
+        )
+        duration = self.scenario.slot_duration_s
+        return [float(min(max(delay, 0.0), duration)) for delay in delays]
 
     def scaled_gain(self, bit_rate_mbps: float) -> float:
         """Scale a bit rate into the [0, 1] bandit reward."""
@@ -78,8 +109,18 @@ class WirelessEnvironment:
             feedback[network_id] = self.scaled_gain(rate)
         return feedback
 
-    def allocation_counts(self, associations: dict[int, int]) -> dict[int, int]:
-        """Number of associated devices per network."""
+    def allocation_counts(
+        self,
+        associations: dict[int, int],
+        groups: dict[int, list[int]] | None = None,
+    ) -> dict[int, int]:
+        """Number of associated devices per network.
+
+        With a precomputed :meth:`client_groups` result this is a length
+        lookup per network rather than another pass over every device.
+        """
+        if groups is not None:
+            return {network_id: len(members) for network_id, members in groups.items()}
         counts: dict[int, int] = {}
         for network_id in associations.values():
             counts[network_id] = counts.get(network_id, 0) + 1
