@@ -1,6 +1,6 @@
 """Backend speed benchmark: slots/sec for event vs. vectorized execution.
 
-Two suites, selected with ``--suite``:
+Three suites, selected with ``--suite``:
 
 ``backend`` (default)
     Single-run throughput of each execution backend on a 30-device, 600-slot
@@ -19,6 +19,15 @@ Two suites, selected with ``--suite``:
     ``--floor`` (default 5x).  Emitted JSON is tracked as
     ``BENCH_policy_kernels.json`` so the perf trajectory has data points.
 
+``results``
+    The columnar result path at fig06 scale: a ``run_many(reduce="summary")``
+    of 20 runs must hold peak RSS growth within ``--rss-factor`` (default 2x)
+    of one full run's columnar footprint — proof that streaming reductions
+    keep multi-run memory at O(one run) — and assembling a columnar
+    ``SimulationResult`` from the recorder blocks must be at least ``--floor``
+    (default 3x) faster than the seed per-device-dict scatter.  Tracked as
+    ``BENCH_columnar_results.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py
@@ -28,6 +37,8 @@ Usage::
         --suite kernels --json BENCH_policy_kernels.json
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
         --suite kernels --policies exp3 --devices 40 --slots 1500 --floor 2
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
+        --suite results --json BENCH_columnar_results.json
 """
 
 from __future__ import annotations
@@ -35,10 +46,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import sys
 import time
 
 from repro.sim.backends import available_backends
+from repro.sim.metrics import SimulationResult
 from repro.sim.runner import run_many, run_simulation
 from repro.sim.scenario import setting1_scenario
 
@@ -212,6 +225,195 @@ def run_kernel_benchmark(
     }
 
 
+#: Results-suite defaults: fig06-scale streaming-reduction run.
+RESULTS_POLICY = "fixed_random"
+RESULTS_NUM_DEVICES = 100
+RESULTS_HORIZON_SLOTS = 10_000
+RESULTS_RUNS = 20
+#: Peak-RSS growth allowed for the reduced multi-run, as a multiple of one
+#: full run's columnar footprint.
+RESULTS_RSS_FACTOR = 2.0
+#: Columnar result construction must beat the seed dict scatter by this much.
+RESULTS_CONSTRUCTION_FLOOR = 3.0
+
+
+def _peak_rss_bytes() -> int | None:
+    """Process high-water RSS in bytes (None where ``resource`` is missing)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform: skip the RSS check
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) * (1 if sys.platform == "darwin" else 1024)
+
+
+def _construction_seconds(result: SimulationResult, iterations: int) -> tuple[float, float]:
+    """Per-call seconds to assemble a result: columnar handoff vs dict scatter."""
+    device_ids = result.device_ids
+    blocks = (
+        result.choices_2d,
+        result.rates_2d,
+        result.delays_2d,
+        result.switches_2d,
+        result.active_2d,
+        result.probabilities_3d,
+    )
+
+    def build_columnar():
+        return SimulationResult(
+            scenario_name=result.scenario_name,
+            seed=result.seed,
+            num_slots=result.num_slots,
+            slot_duration_s=result.slot_duration_s,
+            networks=result.networks,
+            device_ids=device_ids,
+            policy_names=result.policy_names,
+            choices_2d=blocks[0],
+            rates_2d=blocks[1],
+            delays_2d=blocks[2],
+            switches_2d=blocks[3],
+            active_2d=blocks[4],
+            probabilities_3d=blocks[5],
+            resets=result.resets,
+        )
+
+    def build_dict_layout():
+        # The seed layout: six per-device dicts of row views (what the
+        # recorder used to scatter into before the columnar refactor).
+        row_of = {device_id: row for row, device_id in enumerate(device_ids)}
+        return tuple(
+            {device_id: block[row_of[device_id]] for device_id in device_ids}
+            for block in blocks
+        )
+
+    columnar = _best_seconds(
+        lambda: [build_columnar() for _ in range(iterations)], 3
+    )
+    dict_layout = _best_seconds(
+        lambda: [build_dict_layout() for _ in range(iterations)], 3
+    )
+    return columnar / iterations, dict_layout / iterations
+
+
+def run_results_benchmark(
+    policy: str = RESULTS_POLICY,
+    num_devices: int = RESULTS_NUM_DEVICES,
+    horizon: int = RESULTS_HORIZON_SLOTS,
+    runs: int = RESULTS_RUNS,
+    rss_factor: float = RESULTS_RSS_FACTOR,
+    floor: float = RESULTS_CONSTRUCTION_FLOOR,
+) -> dict:
+    """Columnar result-path floors: streaming-reduction memory + construction.
+
+    The memory check runs serially on purpose: the serial ``reduce=`` path
+    frees each run's record before executing the next one, so peak RSS
+    growth beyond one resident run means the streaming contract regressed.
+    """
+    scenario = setting1_scenario(
+        policy=policy, num_devices=num_devices, horizon_slots=horizon
+    )
+
+    # One full run: the single-run footprint every floor is measured against.
+    start = time.perf_counter()
+    single = run_simulation(scenario, seed=0, backend="vectorized")
+    single_seconds = time.perf_counter() - start
+    single_bytes = single.nbytes
+    full_payload_bytes = len(pickle.dumps(single, protocol=pickle.HIGHEST_PROTOCOL))
+
+    columnar_s, dict_s = _construction_seconds(single, iterations=100)
+    construction_speedup = dict_s / columnar_s
+
+    # Streaming reduction at fig06 scale: peak RSS growth beyond the already
+    # resident full run must stay within rss_factor x one run's footprint.
+    baseline_rss = _peak_rss_bytes()
+    start = time.perf_counter()
+    summaries = run_many(scenario, runs=runs, backend="vectorized", reduce="summary")
+    reduced_seconds = time.perf_counter() - start
+    peak_rss = _peak_rss_bytes()
+    reduced_payload_bytes = len(
+        pickle.dumps(summaries.rows, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+    if baseline_rss is None or peak_rss is None:
+        rss_growth_bytes = None
+        rss_ok = True  # unmeasurable platform: do not fail the floor
+    else:
+        rss_growth_bytes = max(peak_rss - baseline_rss, 0)
+        rss_ok = rss_growth_bytes <= rss_factor * single_bytes
+
+    return {
+        "suite": "results",
+        "scenario": f"setting1 ({num_devices} devices, {horizon} slots, {policy})",
+        "cpu_count": os.cpu_count(),
+        "rows": [
+            {
+                "mode": "single_run_full_record",
+                "seconds": single_seconds,
+                "result_bytes": single_bytes,
+                "pickled_payload_bytes": full_payload_bytes,
+            },
+            {
+                "mode": f"run_many(runs={runs}, reduce=summary)",
+                "seconds": reduced_seconds,
+                "peak_rss_growth_bytes": rss_growth_bytes,
+                "pickled_payload_bytes": reduced_payload_bytes,
+            },
+            {
+                "mode": "result_construction",
+                "columnar_seconds_per_call": columnar_s,
+                "dict_scatter_seconds_per_call": dict_s,
+                "speedup": construction_speedup,
+            },
+        ],
+        "payload_shrink_factor": full_payload_bytes / max(reduced_payload_bytes, 1),
+        "headline": {
+            "rss_growth_bytes": rss_growth_bytes,
+            "rss_budget_bytes": rss_factor * single_bytes,
+            "rss_factor": rss_factor,
+            "rss_ok": rss_ok,
+            "construction_speedup": construction_speedup,
+            "construction_floor": floor,
+            "construction_ok": construction_speedup >= floor,
+            "meets_floor": rss_ok and construction_speedup >= floor,
+        },
+    }
+
+
+def format_results_report(payload: dict) -> str:
+    headline = payload["headline"]
+    lines = [f"Columnar result path on {payload['scenario']}:"]
+    for row in payload["rows"]:
+        parts = [f"  {row['mode']:<42}"]
+        if "seconds" in row:
+            parts.append(f"{row['seconds']:8.2f}s")
+        if row.get("result_bytes") is not None:
+            parts.append(f"record {row['result_bytes'] / 1e6:8.1f} MB")
+        if row.get("peak_rss_growth_bytes") is not None:
+            parts.append(f"rss growth {row['peak_rss_growth_bytes'] / 1e6:8.1f} MB")
+        if "pickled_payload_bytes" in row:
+            parts.append(f"payload {row['pickled_payload_bytes'] / 1e3:10.1f} kB")
+        if "speedup" in row:
+            parts.append(f"{row['speedup']:8.1f}x vs dict scatter")
+        lines.append(" ".join(parts))
+    lines.append(
+        f"IPC payload shrink with reduce=summary: "
+        f"{payload['payload_shrink_factor']:,.0f}x"
+    )
+    rss_note = (
+        "unmeasured"
+        if headline["rss_growth_bytes"] is None
+        else f"{headline['rss_growth_bytes'] / 1e6:.1f} MB of "
+        f"{headline['rss_budget_bytes'] / 1e6:.1f} MB budget"
+    )
+    lines.append(
+        f"Headline: rss {rss_note} ({'ok' if headline['rss_ok'] else 'EXCEEDED'}); "
+        f"construction {headline['construction_speedup']:.1f}x "
+        f"(floor {headline['construction_floor']:.1f}x, "
+        f"{'met' if headline['meets_floor'] else 'NOT met'})"
+    )
+    return "\n".join(lines)
+
+
 def format_kernel_report(payload: dict) -> str:
     lines = [f"Policy-kernel throughput on {payload['scenario']}:"]
     for row in payload["rows"]:
@@ -260,13 +462,20 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("backend", "kernels"),
+        choices=("backend", "kernels", "results"),
         default="backend",
-        help="backend: event vs vectorized; kernels: scalar vs batched kernels",
+        help=(
+            "backend: event vs vectorized; kernels: scalar vs batched kernels; "
+            "results: columnar result path (streaming-reduction RSS + "
+            "construction floors)"
+        ),
     )
     parser.add_argument("--policies", nargs="+", default=None)
     parser.add_argument(
-        "--runs", type=int, default=None, help="backend suite: runs for run_many rows"
+        "--runs",
+        type=int,
+        default=None,
+        help="backend suite: runs for run_many rows; results suite: reduced runs",
     )
     parser.add_argument(
         "--workers",
@@ -276,16 +485,25 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
     parser.add_argument(
-        "--devices", type=int, default=None, help="kernel suite: device count"
+        "--devices", type=int, default=None, help="kernels/results suites: device count"
     )
     parser.add_argument(
-        "--slots", type=int, default=None, help="kernel suite: horizon in slots"
+        "--slots", type=int, default=None, help="kernels/results suites: horizon in slots"
     )
     parser.add_argument(
         "--floor",
         type=float,
         default=None,
-        help="kernel suite: minimum EXP3 speedup before exiting non-zero",
+        help=(
+            "kernels: minimum EXP3 speedup; results: minimum columnar "
+            "construction speedup vs the dict scatter"
+        ),
+    )
+    parser.add_argument(
+        "--rss-factor",
+        type=float,
+        default=None,
+        help="results suite: allowed peak-RSS growth as a multiple of one run",
     )
     parser.add_argument("--json", default=None, help="also write the JSON payload here")
     args = parser.parse_args(argv)
@@ -293,9 +511,13 @@ def main(argv=None) -> int:
     # Flags are suite-specific; reject cross-suite usage instead of silently
     # benchmarking a different configuration than the one asked for.
     if args.suite == "kernels":
-        for flag, value in (("--runs", args.runs), ("--workers", args.workers)):
+        for flag, value in (
+            ("--runs", args.runs),
+            ("--workers", args.workers),
+            ("--rss-factor", args.rss_factor),
+        ):
             if value is not None:
-                parser.error(f"{flag} applies only to --suite backend")
+                parser.error(f"{flag} does not apply to --suite kernels")
         payload = run_kernel_benchmark(
             policies=tuple(args.policies or KERNEL_POLICIES),
             num_devices=args.devices if args.devices is not None else KERNEL_NUM_DEVICES,
@@ -304,14 +526,33 @@ def main(argv=None) -> int:
             floor=args.floor if args.floor is not None else KERNEL_SPEEDUP_FLOOR,
         )
         print(format_kernel_report(payload))
+    elif args.suite == "results":
+        for flag, value in (
+            ("--workers", args.workers),
+            ("--repeats", args.repeats),
+        ):
+            if value is not None:
+                parser.error(f"{flag} does not apply to --suite results")
+        if args.policies is not None and len(args.policies) != 1:
+            parser.error("--suite results takes exactly one --policies entry")
+        payload = run_results_benchmark(
+            policy=args.policies[0] if args.policies else RESULTS_POLICY,
+            num_devices=args.devices if args.devices is not None else RESULTS_NUM_DEVICES,
+            horizon=args.slots if args.slots is not None else RESULTS_HORIZON_SLOTS,
+            runs=args.runs if args.runs is not None else RESULTS_RUNS,
+            rss_factor=args.rss_factor if args.rss_factor is not None else RESULTS_RSS_FACTOR,
+            floor=args.floor if args.floor is not None else RESULTS_CONSTRUCTION_FLOOR,
+        )
+        print(format_results_report(payload))
     else:
         for flag, value in (
             ("--devices", args.devices),
             ("--slots", args.slots),
             ("--floor", args.floor),
+            ("--rss-factor", args.rss_factor),
         ):
             if value is not None:
-                parser.error(f"{flag} applies only to --suite kernels")
+                parser.error(f"{flag} does not apply to --suite backend")
         payload = run_benchmark(
             policies=tuple(args.policies or DEFAULT_POLICIES),
             runs=args.runs if args.runs is not None else 3,

@@ -142,9 +142,10 @@ class BatchKernel(ABC):
         self, slot_index: int, values: np.ndarray
     ) -> None:
         """Write the group's mixed strategies for one slot as one block write."""
-        self.recorder.probabilities[
-            self.rows[:, None], slot_index, self.cols[None, :]
-        ] = values
+        block = self.recorder.probabilities
+        if block is None:  # probability recording disabled for this run
+            return
+        block[self.rows[:, None], slot_index, self.cols[None, :]] = values
 
     @abstractmethod
     def begin_slot(self, slot: int) -> np.ndarray:

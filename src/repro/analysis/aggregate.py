@@ -73,6 +73,25 @@ def summarize_runs(
     return aggregator(metric(result) for result in results)
 
 
+def downloads_over_runs(results: Sequence[SimulationResult]) -> np.ndarray:
+    """``(runs, devices)`` matrix of per-device downloads (MB), one row per run.
+
+    Each row is a single vectorized expression over the run's columnar
+    blocks (no per-device Python loop); cross-run download statistics are
+    then axis reductions over this matrix.
+    """
+    if not results:
+        return np.zeros((0, 0), dtype=float)
+    return np.stack([result.downloads_mb() for result in results])
+
+
+def switch_counts_over_runs(results: Sequence[SimulationResult]) -> np.ndarray:
+    """``(runs, devices)`` matrix of per-device switch counts, one row per run."""
+    if not results:
+        return np.zeros((0, 0), dtype=np.int64)
+    return np.stack([result.switch_counts() for result in results])
+
+
 def per_run_median_download_gb(result: SimulationResult) -> float:
     """Median per-device cumulative download of a run, in GB (Table V metric)."""
     downloads = result.downloads_mb()

@@ -7,6 +7,13 @@
   controlled real-world experiments (Figs. 13–15) where nominal bandwidths are
   unknown and noisy: the average shortfall of observed bit rates below the fair
   share of the estimated aggregate bandwidth.
+
+Both series are computed from the result's columnar ``(devices, slots)``
+blocks.  The Definition-3 series groups slots by their active-device count —
+the equilibrium gain profile depends only on that count — and evaluates each
+group as one array expression over sorted per-slot gain columns, so the
+Python-level work is one iteration per *distinct* population size instead of
+one per device per slot.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.game.nash import distance_to_nash
+from repro.game.nash import nash_gain_profile
 from repro.game.network import Network
 from repro.sim.metrics import SimulationResult
 
@@ -47,24 +54,65 @@ def distance_to_nash_series(
         everyone else but is evaluated separately.
     """
     ids = tuple(device_ids) if device_ids is not None else result.device_ids
-    report_ids = set(report_device_ids) if report_device_ids is not None else None
     if network_ids is None:
         networks: Mapping[int, Network] = result.networks
     else:
         networks = {i: result.networks[i] for i in network_ids}
-    series = np.zeros(result.num_slots, dtype=float)
-    for slot_index in range(result.num_slots):
-        active_ids = [d for d in ids if result.active[d][slot_index]]
-        gains = [float(result.rates_mbps[d][slot_index]) for d in active_ids]
-        if not gains:
-            series[slot_index] = 0.0
-            continue
-        if report_ids is None:
-            series[slot_index] = distance_to_nash(networks, gains)
-        else:
-            series[slot_index] = _subset_distance(
-                networks, active_ids, gains, report_ids
+    rows = result.rows_for(ids)
+    act = result.active_2d[rows]  # (R, S)
+    rates = result.rates_2d[rows]
+    num_slots = result.num_slots
+    series = np.zeros(num_slots, dtype=float)
+    counts = act.sum(axis=0)
+
+    if report_device_ids is not None:
+        return _subset_series(
+            networks, ids, act, rates, counts, set(report_device_ids), series
+        )
+
+    # Sort each slot's gains with inactive devices pushed past the end, so
+    # column s holds the active gains ascending in its first counts[s] rows.
+    sorted_gains = np.sort(np.where(act, rates, np.inf), axis=0)
+    for population in np.unique(counts):
+        population = int(population)
+        if population == 0:
+            continue  # no active device: the distance is 0 by convention
+        ne_gains = nash_gain_profile(networks, population)[:population]
+        cols = counts == population
+        current = sorted_gains[:population, cols]  # (population, #slots)
+        with np.errstate(divide="ignore"):
+            improvements = np.where(
+                current > 0,
+                (ne_gains[:, None] - current) / current * 100.0,
+                np.where(ne_gains[:, None] > 0, np.inf, 0.0),
             )
+        series[cols] = np.maximum(improvements.max(axis=0), 0.0)
+    return series
+
+
+def _subset_series(
+    networks: Mapping[int, Network],
+    ids: Sequence[int],
+    act: np.ndarray,
+    rates: np.ndarray,
+    counts: np.ndarray,
+    report_ids: set[int],
+    series: np.ndarray,
+) -> np.ndarray:
+    """Definition-3 series reported only over ``report_ids`` devices.
+
+    Rank-matching against the equilibrium profile needs device identities, so
+    this path stays per-slot; the per-slot device scan is still array-driven.
+    """
+    ids_array = np.asarray(ids)
+    for slot_index in np.flatnonzero(counts):
+        mask = act[:, slot_index]
+        series[slot_index] = _subset_distance(
+            networks,
+            ids_array[mask],
+            rates[mask, slot_index],
+            report_ids,
+        )
     return series
 
 
@@ -81,8 +129,6 @@ def _subset_distance(
     Definition 3), and the maximum percentage improvement is taken over the
     reported subset only.
     """
-    from repro.game.nash import nash_gain_profile  # local import to avoid cycle
-
     gains_array = np.asarray(gains, dtype=float)
     order = np.argsort(gains_array)
     ne_gains = nash_gain_profile(networks, len(gains_array))[: len(gains_array)]
@@ -126,8 +172,6 @@ def optimal_distance_from_average_rate(
     per-device average.  It is zero only when the equilibrium is perfectly
     egalitarian.
     """
-    from repro.game.nash import nash_gain_profile  # local import to avoid cycle
-
     if isinstance(networks, Mapping):
         network_map = dict(networks)
     else:
@@ -151,28 +195,36 @@ def distance_from_average_rate_series(
     For each slot, the aggregate bandwidth (estimated from nominal bandwidths
     unless ``estimated_bandwidths`` is provided) is divided by the number of
     active devices to obtain the fair share ``g``; the metric is the average of
-    ``max(g − g_j, 0) · 100 / g`` over active devices ``j``.
+    ``max(g − g_j, 0) · 100 / g`` over active devices ``j``.  One vectorized
+    expression over the ``(devices, slots)`` blocks.
     """
     ids = tuple(device_ids) if device_ids is not None else result.device_ids
     if estimated_bandwidths is None:
-        bandwidths = {i: n.bandwidth_mbps for i, n in result.networks.items()}
+        aggregate = sum(n.bandwidth_mbps for n in result.networks.values())
     else:
-        bandwidths = dict(estimated_bandwidths)
-    aggregate = sum(bandwidths.values())
-    series = np.zeros(result.num_slots, dtype=float)
-    for slot_index in range(result.num_slots):
-        observed = [
-            float(result.rates_mbps[d][slot_index])
-            for d in ids
-            if result.active[d][slot_index]
-        ]
-        if not observed:
-            series[slot_index] = 0.0
-            continue
-        fair_share = aggregate / len(observed)
-        if fair_share <= 0:
-            series[slot_index] = 0.0
-            continue
-        shortfall = [max(fair_share - g, 0.0) * 100.0 / fair_share for g in observed]
-        series[slot_index] = float(np.mean(shortfall))
-    return series
+        aggregate = sum(estimated_bandwidths.values())
+    rows = result.rows_for(ids)
+    act = result.active_2d[rows]
+    rates = result.rates_2d[rows]
+    num_slots = result.num_slots
+    counts = act.sum(axis=0)
+    fair_share = np.divide(
+        aggregate,
+        counts,
+        out=np.zeros(num_slots, dtype=float),
+        where=counts > 0,
+    )
+    defined = fair_share > 0
+    shortfall_pct = np.divide(
+        np.clip(fair_share[None, :] - rates, 0.0, None) * 100.0,
+        fair_share[None, :],
+        out=np.zeros_like(rates),
+        where=defined[None, :],
+    )
+    totals = np.where(act, shortfall_pct, 0.0).sum(axis=0)
+    return np.divide(
+        totals,
+        counts,
+        out=np.zeros(num_slots, dtype=float),
+        where=defined & (counts > 0),
+    )

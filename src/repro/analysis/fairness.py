@@ -39,6 +39,13 @@ def jains_index(values: Sequence[float]) -> float:
     return float(total**2 / (data.size * float(np.sum(data**2))))
 
 
+def download_jains_index(
+    result: SimulationResult, device_ids: Sequence[int] | None = None
+) -> float:
+    """Jain's index of per-device cumulative downloads within one run."""
+    return jains_index(result.downloads_mb(device_ids))
+
+
 def total_available_gb(result: SimulationResult) -> float:
     """Total bandwidth offered by the networks over the whole run, in GB.
 

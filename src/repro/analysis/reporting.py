@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
 
 def _format_cell(value) -> str:
     if isinstance(value, float):
@@ -43,6 +45,35 @@ def format_table(
     for row in body:
         lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_run_summaries(
+    summaries,
+    keys: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a reducer's :class:`~repro.analysis.reducers.RunSummaries`.
+
+    One row per run plus a cross-run aggregate row (mean over runs), so
+    reduced multi-run experiments print paper-style tables without ever
+    materialising the full per-run records.
+    """
+    rows = [dict(row) for row in summaries]
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    if keys is None:
+        keys = [k for k in rows[0] if k != "seed"]
+    columns = ["run", *keys]
+    table_rows: list[dict[str, object]] = [
+        {"run": row.get("seed", index), **{k: row.get(k, "") for k in keys}}
+        for index, row in enumerate(rows)
+    ]
+    aggregate: dict[str, object] = {"run": "mean"}
+    for key in keys:
+        values = summaries.values(key)
+        aggregate[key] = float(np.nanmean(values)) if values.size else ""
+    table_rows.append(aggregate)
+    return format_table(table_rows, columns=columns, title=title)
 
 
 def format_series(

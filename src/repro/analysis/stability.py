@@ -4,6 +4,11 @@ An algorithm has reached a *stable state* when every device selects one
 particular network with probability at least 0.75 and keeps that probability
 until the end of the run.  The time to reach the stable state is the first slot
 from which this holds for all devices simultaneously.
+
+The analysis is array-native: the per-device stable slots are computed with a
+handful of vectorized expressions over the result's
+``(num_devices, num_slots, num_networks)`` probability tensor and
+``(num_devices, num_slots)`` activity block — no per-device Python loop.
 """
 
 from __future__ import annotations
@@ -17,38 +22,6 @@ from repro.sim.metrics import SimulationResult
 
 #: Probability threshold of Definition 2.
 STABILITY_THRESHOLD = 0.75
-
-
-def _device_stable_slot(
-    probabilities: np.ndarray,
-    active: np.ndarray,
-    threshold: float,
-) -> tuple[int | None, int | None]:
-    """First slot index from which one network keeps probability >= threshold.
-
-    Returns ``(slot_index, network_column)`` or ``(None, None)`` if the device
-    never stabilises.  Only slots in which the device is active are considered;
-    the condition must hold until the device's last active slot.
-    """
-    active_indices = np.flatnonzero(active)
-    if active_indices.size == 0:
-        return None, None
-    last_active = active_indices[-1]
-    final_column = int(np.argmax(probabilities[last_active]))
-    column_probabilities = probabilities[active_indices, final_column]
-    above = column_probabilities >= threshold
-    if not above[-1]:
-        return None, None
-    # Find the last slot where the probability was below the threshold.
-    below_indices = np.flatnonzero(~above)
-    if below_indices.size == 0:
-        first_stable = active_indices[0]
-    else:
-        position = below_indices[-1] + 1
-        if position >= active_indices.size:
-            return None, None
-        first_stable = active_indices[position]
-    return int(first_stable), final_column
 
 
 @dataclass(frozen=True)
@@ -89,29 +62,57 @@ def stability_report(
     holds for all devices.  The final allocation is additionally checked
     against the Nash equilibria of the game.
     """
-    per_device_slots: list[int] = []
-    stable_allocation: dict[int, int] = {network_id: 0 for network_id in result.networks}
-    network_order = result.network_order
-    for device_id in result.device_ids:
-        active = result.active[device_id]
-        if not np.any(active):
-            continue
-        slot_index, column = _device_stable_slot(
-            result.probabilities[device_id], active, threshold
+    probabilities = result.probabilities_3d
+    if probabilities is None:
+        raise ValueError(
+            "stability analysis needs the per-slot probability tensor; "
+            "re-run with record_probabilities=True (or a reducer that "
+            "declares needs_probabilities)"
         )
-        if slot_index is None:
-            final_allocation = result.allocation_at(result.num_slots - 1)
+    active = result.active_2d
+    num_slots = result.num_slots
+    network_order = result.network_order
+    stable_allocation = {network_id: 0 for network_id in result.networks}
+
+    rows = np.flatnonzero(active.any(axis=1))
+    stable_slot: int | None = None
+    if rows.size:
+        act = active[rows]  # (R, S): devices with at least one active slot
+        row_idx = np.arange(rows.size)
+        # Last active slot and the network each device finally concentrates on.
+        last_active = num_slots - 1 - np.argmax(act[:, ::-1], axis=1)
+        final_col = np.argmax(probabilities[rows, last_active], axis=1)
+        # Probability trajectory of each device's final network, gathered as
+        # one (R, S) slice — never a copy of the full (R, S, N) tensor.
+        final_probs = probabilities[
+            rows[:, None], np.arange(num_slots)[None, :], final_col[:, None]
+        ]
+        above = final_probs >= threshold
+        # Definition 2 requires the threshold to hold at the device's last
+        # active slot; a single miss there makes the whole run unstable.
+        if not np.all(above[row_idx, last_active]):
             return StabilityReport(
                 stable=False,
                 stable_slot=None,
                 at_nash_equilibrium=False,
-                final_allocation=final_allocation,
+                final_allocation=result.allocation_at(num_slots - 1),
             )
-        per_device_slots.append(slot_index)
-        stable_allocation[network_order[int(column)]] += 1
+        # First active slot after the last active slot below the threshold
+        # (the first active slot at all when the device never dipped).  The
+        # check above guarantees such a slot exists (last_active qualifies).
+        below = act & ~above
+        has_below = below.any(axis=1)
+        last_below = np.where(
+            has_below, num_slots - 1 - np.argmax(below[:, ::-1], axis=1), -1
+        )
+        candidates = act & (np.arange(num_slots)[None, :] > last_below[:, None])
+        first_stable = np.argmax(candidates, axis=1)
+        stable_slot = int(first_stable.max()) + 1
+        counts = np.bincount(final_col, minlength=len(network_order))
+        for col, network_id in enumerate(network_order):
+            stable_allocation[network_id] = int(counts[col])
 
     at_nash = is_nash_equilibrium(result.networks, stable_allocation)
-    stable_slot = (max(per_device_slots) + 1) if per_device_slots else None
     return StabilityReport(
         stable=True,
         stable_slot=stable_slot,

@@ -65,6 +65,9 @@ class ExperimentConfig:
         Process-pool width for multi-run experiments; ``None`` (default),
         ``0`` or ``1`` runs serially.  Parallel results are bit-identical to
         serial ones.
+    chunksize:
+        Seeds per pool dispatch for parallel ``run_many`` (``None`` uses the
+        runner's ~4-chunks-per-worker heuristic).
     """
 
     runs: int = 5
@@ -72,6 +75,7 @@ class ExperimentConfig:
     base_seed: int = 0
     backend: str = "vectorized"
     workers: int | None = None
+    chunksize: int | None = None
 
     def __post_init__(self) -> None:
         if self.runs < 1:
@@ -85,6 +89,8 @@ class ExperimentConfig:
             )
         if self.workers is not None and self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.chunksize is not None and self.chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {self.chunksize}")
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -112,13 +118,17 @@ def apply_horizon(scenario: Scenario, config: ExperimentConfig) -> Scenario:
     return scenario.with_horizon(config.horizon_slots)
 
 
-def run_with_config(
-    scenario: Scenario, config: ExperimentConfig
-) -> list[SimulationResult]:
+def run_with_config(scenario: Scenario, config: ExperimentConfig, reduce=None):
     """Run a scenario ``config.runs`` times with the config's execution knobs.
 
     Unlike :func:`run_scenario` this does *not* apply the horizon override —
     drivers that manage their own horizons call this directly.
+
+    ``reduce`` (a :class:`~repro.analysis.reducers.Reducer` or built-in
+    reducer name) streams each run through the reducer where it executes —
+    multi-run experiments then hold kilobyte payloads instead of full
+    slot-by-slot records, and the return value is the reducer's finalized
+    output instead of a result list.
     """
     return run_many(
         scenario,
@@ -126,27 +136,32 @@ def run_with_config(
         config.base_seed,
         backend=config.backend,
         workers=config.workers,
+        reduce=reduce,
+        chunksize=config.chunksize,
     )
 
 
-def run_scenario(
-    scenario: Scenario, config: ExperimentConfig
-) -> list[SimulationResult]:
-    """Run a scenario ``config.runs`` times."""
-    return run_with_config(apply_horizon(scenario, config), config)
+def run_scenario(scenario: Scenario, config: ExperimentConfig, reduce=None):
+    """Run a scenario ``config.runs`` times (optionally reduced in-flight)."""
+    return run_with_config(apply_horizon(scenario, config), config, reduce=reduce)
 
 
 def run_policy_grid(
     scenario_factory: Callable[..., Scenario],
     policies: Sequence[str],
     config: ExperimentConfig,
+    reduce=None,
     **factory_kwargs,
-) -> dict[str, list[SimulationResult]]:
-    """Run ``scenario_factory(policy=p, **kwargs)`` for every policy ``p``."""
-    results: dict[str, list[SimulationResult]] = {}
+) -> dict:
+    """Run ``scenario_factory(policy=p, **kwargs)`` for every policy ``p``.
+
+    With ``reduce=`` each policy maps to the reducer's finalized output
+    instead of a list of full :class:`SimulationResult` records.
+    """
+    results: dict = {}
     for policy in policies:
         scenario = scenario_factory(policy=policy, **factory_kwargs)
-        results[policy] = run_scenario(scenario, config)
+        results[policy] = run_scenario(scenario, config, reduce=reduce)
     return results
 
 

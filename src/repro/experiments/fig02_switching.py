@@ -18,14 +18,18 @@ FIG2_POLICIES = tuple(p for p in ALL_POLICIES if p not in ("centralized", "fixed
 
 
 def run(config: ExperimentConfig | None = None) -> list[dict]:
-    """Return one row per algorithm with mean/std switches in both settings."""
+    """Return one row per algorithm with mean/std switches in both settings.
+
+    Runs stream through the ``summary`` reducer, so only per-run scalar rows
+    are kept (and shipped across the pool when ``config.workers`` is set).
+    """
     config = config or ExperimentConfig.default()
     rows: list[dict] = []
     per_setting: dict[str, dict[str, tuple[float, float]]] = {}
     for setting_name, factory in (("setting1", setting1_scenario), ("setting2", setting2_scenario)):
-        grid = run_policy_grid(factory, FIG2_POLICIES, config)
-        for policy, results in grid.items():
-            switches = [r.mean_switches_per_device() for r in results]
+        grid = run_policy_grid(factory, FIG2_POLICIES, config, reduce="summary")
+        for policy, summaries in grid.items():
+            switches = summaries.values("mean_switches")
             per_setting.setdefault(policy, {})[setting_name] = (
                 float(np.mean(switches)),
                 float(np.std(switches)),

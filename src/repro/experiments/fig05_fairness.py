@@ -9,23 +9,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.fairness import download_std_mb, jains_index
 from repro.experiments.common import ALL_POLICIES, ExperimentConfig, run_policy_grid
 from repro.sim.scenario import setting1_scenario, setting2_scenario
 
 
 def run(config: ExperimentConfig | None = None) -> list[dict]:
-    """Return one row per algorithm with the mean per-run download std-dev (MB)."""
+    """Return one row per algorithm with the mean per-run download std-dev (MB).
+
+    Per-run fairness scalars come out of the ``summary`` reducer (one
+    vectorized download expression per run, reduced where the run executes).
+    """
     config = config or ExperimentConfig.default()
     stats: dict[str, dict[str, tuple[float, float]]] = {}
     for setting_name, factory in (("setting1", setting1_scenario), ("setting2", setting2_scenario)):
-        grid = run_policy_grid(factory, ALL_POLICIES, config)
+        grid = run_policy_grid(factory, ALL_POLICIES, config, reduce="summary")
         for policy in ALL_POLICIES:
-            stds = [download_std_mb(r) for r in grid[policy]]
-            jains = [jains_index(r.downloads_mb()) for r in grid[policy]]
             stats.setdefault(policy, {})[setting_name] = (
-                float(np.mean(stds)),
-                float(np.mean(jains)),
+                float(np.mean(grid[policy].values("std_download_mb"))),
+                float(np.mean(grid[policy].values("jains_index"))),
             )
     return [
         {

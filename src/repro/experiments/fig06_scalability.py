@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.stability import stability_report
+from repro.analysis.reducers import StabilityReducer
 from repro.experiments.common import ExperimentConfig, run_with_config
 from repro.sim.scenario import scalability_scenario
 
@@ -37,18 +37,23 @@ def run(
             policy=policy,
             horizon_slots=config.horizon_slots or 8640,
         )
-        results = run_with_config(scenario, config)
-        reports = [stability_report(r) for r in results]
-        stabilised = [rep.stable_slot for rep in reports if rep.stable and rep.stable_slot]
+        # The stability reducer runs Definition 2 inside each worker, so the
+        # paper-scale sweep (8640-slot runs) never ships a full probability
+        # tensor back across the process pool.
+        summaries = run_with_config(scenario, config, reduce=StabilityReducer())
+        rows = list(summaries)
+        stabilised = [
+            row["stable_slot"] for row in rows if row["stable"] and row["stable_slot"]
+        ]
         return {
             "varied": varied,
             "num_devices": num_devices,
             "num_networks": num_networks,
             "median_slots_to_stable": float(np.median(stabilised)) if stabilised else float("nan"),
-            "pct_stable": 100.0 * sum(rep.stable for rep in reports) / len(reports),
+            "pct_stable": 100.0 * sum(row["stable"] for row in rows) / len(rows),
             "pct_stable_at_nash": 100.0
-            * sum(rep.stable and rep.at_nash_equilibrium for rep in reports)
-            / len(reports),
+            * sum(row["stable"] and row["at_nash"] for row in rows)
+            / len(rows),
         }
 
     for num_networks in network_sweep:

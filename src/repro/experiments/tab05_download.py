@@ -9,19 +9,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.aggregate import per_run_median_download_gb
 from repro.experiments.common import ALL_POLICIES, ExperimentConfig, run_policy_grid
 from repro.sim.scenario import setting1_scenario, setting2_scenario
 
 
 def run(config: ExperimentConfig | None = None) -> list[dict]:
-    """Return one row per algorithm with the mean per-run median download (GB)."""
+    """Return one row per algorithm with the mean per-run median download (GB).
+
+    Per-run medians come out of the ``downloads`` reducer applied where each
+    run executes, so only scalar rows cross the process pool.
+    """
     config = config or ExperimentConfig.default()
     downloads: dict[str, dict[str, float]] = {}
     for setting_name, factory in (("setting1", setting1_scenario), ("setting2", setting2_scenario)):
-        grid = run_policy_grid(factory, ALL_POLICIES, config)
+        grid = run_policy_grid(factory, ALL_POLICIES, config, reduce="downloads")
         for policy in ALL_POLICIES:
-            values = [per_run_median_download_gb(r) for r in grid[policy]]
+            values = grid[policy].values("median_download_mb") / 1000.0
             downloads.setdefault(policy, {})[setting_name] = float(np.mean(values))
     return [
         {

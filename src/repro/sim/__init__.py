@@ -31,7 +31,7 @@ from repro.sim.backends import (
 from repro.sim.delay import ConstantDelayModel, DelayModel, EmpiricalDelayModel, NoDelayModel
 from repro.sim.engine import Event, EventQueue, SimulationEngine
 from repro.sim.environment import WirelessEnvironment
-from repro.sim.metrics import DeviceSlotRecord, SimulationResult
+from repro.sim.metrics import DeviceAxisView, SimulationResult
 from repro.sim.mobility import CoverageMap, ServiceArea
 from repro.sim.runner import run_many, run_simulation
 from repro.sim.scenario import (
@@ -49,7 +49,7 @@ __all__ = [
     "CoverageMap",
     "DEFAULT_BACKEND",
     "DelayModel",
-    "DeviceSlotRecord",
+    "DeviceAxisView",
     "DeviceSpec",
     "EmpiricalDelayModel",
     "Event",

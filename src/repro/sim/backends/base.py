@@ -93,10 +93,16 @@ class SlotRecorder:
 
     One contiguous block is allocated per quantity with shape
     ``(num_devices, num_slots)`` (plus a network axis for probabilities);
-    :meth:`result` splits the blocks into the per-device row views stored on
-    :class:`SimulationResult`.  Backends address devices by *row* (position
-    of the device id in the sorted id tuple) so recording never goes through
-    per-device dict indexing.
+    :meth:`result` hands the blocks to :class:`SimulationResult` *as is* —
+    the result stores struct-of-arrays, so finishing a run is a constant-time
+    handoff rather than a per-device scatter.  Backends address devices by
+    *row* (position of the device id in the sorted id tuple) so recording
+    never goes through per-device dict indexing.
+
+    The probability tensor dominates the footprint of a run; passing
+    ``record_probabilities=False`` skips its allocation entirely (every
+    probability write in the backends and kernels is gated on the block
+    being present).
     """
 
     __slots__ = (
@@ -118,6 +124,7 @@ class SlotRecorder:
         device_ids: tuple[int, ...],
         network_order: tuple[int, ...],
         num_slots: int,
+        record_probabilities: bool = True,
     ) -> None:
         num_devices = len(device_ids)
         num_networks = len(network_order)
@@ -133,13 +140,18 @@ class SlotRecorder:
         self.delays = np.zeros((num_devices, num_slots), dtype=float)
         self.switches = np.zeros((num_devices, num_slots), dtype=bool)
         self.active = np.zeros((num_devices, num_slots), dtype=bool)
-        self.probabilities = np.zeros(
-            (num_devices, num_slots, num_networks), dtype=float
+        self.probabilities = (
+            np.zeros((num_devices, num_slots, num_networks), dtype=float)
+            if record_probabilities
+            else None
         )
 
     def record_probabilities(self, row: int, slot_index: int, policy: Policy) -> None:
         """Record a policy's current mixed strategy for one (device, slot)."""
-        prob_row = self.probabilities[row, slot_index]
+        block = self.probabilities
+        if block is None:
+            return
+        prob_row = block[row, slot_index]
         network_col = self.network_col
         for network_id, probability in policy.probabilities.items():
             col = network_col.get(network_id)
@@ -154,7 +166,6 @@ class SlotRecorder:
     ) -> SimulationResult:
         """Assemble the final :class:`SimulationResult` from the blocks."""
         device_ids = self.device_ids
-        row_of = self.row_of
         return SimulationResult(
             scenario_name=scenario.name,
             seed=seed,
@@ -163,12 +174,12 @@ class SlotRecorder:
             networks=dict(scenario.network_map),
             device_ids=device_ids,
             policy_names={d: runtimes[d].spec.policy for d in device_ids},
-            choices={d: self.choices[row_of[d]] for d in device_ids},
-            rates_mbps={d: self.rates[row_of[d]] for d in device_ids},
-            delays_s={d: self.delays[row_of[d]] for d in device_ids},
-            switches={d: self.switches[row_of[d]] for d in device_ids},
-            active={d: self.active[row_of[d]] for d in device_ids},
-            probabilities={d: self.probabilities[row_of[d]] for d in device_ids},
+            choices_2d=self.choices,
+            rates_2d=self.rates,
+            delays_2d=self.delays,
+            switches_2d=self.switches,
+            active_2d=self.active,
+            probabilities_3d=self.probabilities,
             resets={d: runtimes[d].policy.reset_count for d in device_ids},
         )
 
@@ -191,8 +202,15 @@ class RunState:
         return self.recorder.result(self.scenario, self.seed, self.runtimes)
 
 
-def prepare_run(scenario: Scenario, seed: int) -> RunState:
-    """Seed the RNG streams and allocate the shared run state for one run."""
+def prepare_run(
+    scenario: Scenario, seed: int, record_probabilities: bool = True
+) -> RunState:
+    """Seed the RNG streams and allocate the shared run state for one run.
+
+    ``record_probabilities=False`` skips the probability tensor: recording
+    probabilities never consumes RNG state, so the run's dynamics and every
+    other result block stay bit-identical to a fully recorded run.
+    """
     rng = np.random.default_rng(seed)
     environment = WirelessEnvironment(
         scenario, np.random.default_rng(rng.integers(0, 2**63 - 1))
@@ -212,7 +230,9 @@ def prepare_run(scenario: Scenario, seed: int) -> RunState:
             r.policy.needs_full_feedback for r in runtimes.values()
         ),
         num_slots=num_slots,
-        recorder=SlotRecorder(device_ids, network_order, num_slots),
+        recorder=SlotRecorder(
+            device_ids, network_order, num_slots, record_probabilities
+        ),
     )
 
 
@@ -305,5 +325,14 @@ class SlotExecutor(ABC):
     name: str = ""
 
     @abstractmethod
-    def execute(self, scenario: Scenario, seed: int = 0) -> SimulationResult:
-        """Run ``scenario`` once with ``seed`` and return the full record."""
+    def execute(
+        self,
+        scenario: Scenario,
+        seed: int = 0,
+        record_probabilities: bool = True,
+    ) -> SimulationResult:
+        """Run ``scenario`` once with ``seed`` and return the full record.
+
+        ``record_probabilities=False`` drops the per-slot probability tensor
+        from the result (all other blocks stay bit-identical).
+        """

@@ -21,8 +21,13 @@ class EventSlotExecutor(SlotExecutor):
 
     name = "event"
 
-    def execute(self, scenario: Scenario, seed: int = 0) -> SimulationResult:
-        state = prepare_run(scenario, seed)
+    def execute(
+        self,
+        scenario: Scenario,
+        seed: int = 0,
+        record_probabilities: bool = True,
+    ) -> SimulationResult:
+        state = prepare_run(scenario, seed, record_probabilities)
         num_slots = state.num_slots
         slot_duration = scenario.slot_duration_s
         engine = SimulationEngine()

@@ -95,8 +95,13 @@ class VectorizedSlotExecutor(SlotExecutor):
         if not use_kernels:
             self.name = "vectorized-nokernel"
 
-    def execute(self, scenario: Scenario, seed: int = 0) -> SimulationResult:
-        state = prepare_run(scenario, seed)
+    def execute(
+        self,
+        scenario: Scenario,
+        seed: int = 0,
+        record_probabilities: bool = True,
+    ) -> SimulationResult:
+        state = prepare_run(scenario, seed, record_probabilities)
         environment = state.environment
         recorder = state.recorder
         device_ids = state.device_ids
@@ -165,18 +170,19 @@ class VectorizedSlotExecutor(SlotExecutor):
                     chosen = runtime.previous_choice
                     choice_cols[pos] = network_col[chosen]
                     choices2d[row, idx_lo:idx_hi] = chosen
-                    cols = []
-                    vals = []
-                    for network_id, probability in policy.probabilities.items():
-                        col = network_col.get(network_id)
-                        if col is not None:
-                            cols.append(col)
-                            vals.append(probability)
-                    # Mixed slice + fancy indexing puts the network axis
-                    # first, so broadcast the values along the slot axis.
-                    recorder.probabilities[row, idx_lo:idx_hi, cols] = np.asarray(
-                        vals
-                    )[:, None]
+                    if recorder.probabilities is not None:
+                        cols = []
+                        vals = []
+                        for network_id, probability in policy.probabilities.items():
+                            col = network_col.get(network_id)
+                            if col is not None:
+                                cols.append(col)
+                                vals.append(probability)
+                        # Mixed slice + fancy indexing puts the network axis
+                        # first, so broadcast the values along the slot axis.
+                        recorder.probabilities[row, idx_lo:idx_hi, cols] = np.asarray(
+                            vals
+                        )[:, None]
                 else:
                     live.append((pos, row, runtime, policy))
 

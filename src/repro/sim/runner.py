@@ -13,6 +13,26 @@ seed ``base_seed + i``; because each run derives all of its RNG streams
 (environment and per-device policies) from its own seed via
 ``numpy.random.default_rng``, runs are independent regardless of which
 process executes them.
+
+IPC contract of the parallel path
+---------------------------------
+
+The run context — scenario, resolved executor instance, reducer and the
+probability-recording flag — is pickled **once per worker process** through
+the pool initializer, not once per job.  A job is a bare ``int`` seed, and
+seeds are dispatched in chunks (``chunksize``), so submitting 500 runs costs
+500 small integers over the pipe instead of 500 copies of the scenario.
+Shipping the resolved executor (rather than the backend name) means custom
+backends registered via ``register_backend`` do not depend on the worker's
+freshly imported registry; on spawn/forkserver platforms this still requires
+the executor class to be picklable, i.e. importable by module path in the
+worker (a class defined in a REPL is not).
+
+On the way back, a worker returns either the full
+:class:`~repro.sim.metrics.SimulationResult` (columnar blocks, pickled
+wholesale) or — when ``reduce=`` is given — only the reducer's kilobyte
+payload (:meth:`~repro.analysis.reducers.Reducer.map` runs in the worker),
+so peak memory in the parent stays O(one run) regardless of ``runs``.
 """
 
 from __future__ import annotations
@@ -20,29 +40,65 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
-from repro.sim.backends import DEFAULT_BACKEND, get_backend
+from repro.sim.backends import DEFAULT_BACKEND, SlotExecutor, get_backend
 from repro.sim.metrics import SimulationResult
 from repro.sim.scenario import Scenario
 
 
 def run_simulation(
-    scenario: Scenario, seed: int = 0, backend: str = DEFAULT_BACKEND
+    scenario: Scenario,
+    seed: int = 0,
+    backend: str = DEFAULT_BACKEND,
+    record_probabilities: bool = True,
 ) -> SimulationResult:
-    """Execute one run of ``scenario`` and return its full slot-by-slot record."""
-    return get_backend(backend).execute(scenario, seed)
+    """Execute one run of ``scenario`` and return its full slot-by-slot record.
 
-
-def _run_one(args) -> SimulationResult:
-    """Module-level worker so ``run_many`` can dispatch to a process pool.
-
-    The parent ships the resolved executor instance (not the backend name),
-    so custom backends registered via ``register_backend`` do not depend on
-    the worker's freshly imported registry.  On spawn/forkserver platforms
-    this still requires the executor class to be picklable, i.e. importable
-    by module path in the worker (a class defined in a REPL is not).
+    ``record_probabilities=False`` skips the per-slot probability tensor (the
+    dominant share of a run's footprint); all other result blocks stay
+    bit-identical.
     """
-    scenario, seed, executor = args
-    return executor.execute(scenario, seed)
+    return get_backend(backend).execute(
+        scenario, seed, record_probabilities=record_probabilities
+    )
+
+
+#: Per-worker run context, installed once per process by :func:`_init_worker`.
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_worker(
+    scenario: Scenario,
+    executor: SlotExecutor,
+    reducer,
+    record_probabilities: bool,
+) -> None:
+    """Pool initializer: receive the run context once per worker process."""
+    _WORKER_CONTEXT["scenario"] = scenario
+    _WORKER_CONTEXT["executor"] = executor
+    _WORKER_CONTEXT["reducer"] = reducer
+    _WORKER_CONTEXT["record_probabilities"] = record_probabilities
+
+
+def _run_seed(seed: int):
+    """Pool job: one run of the worker-resident scenario for ``seed``.
+
+    Returns the full result, or only the reducer payload when the context
+    carries a reducer (the full record never leaves the worker then).
+    """
+    context = _WORKER_CONTEXT
+    result = context["executor"].execute(
+        context["scenario"],
+        seed,
+        record_probabilities=context["record_probabilities"],
+    )
+    reducer = context["reducer"]
+    return result if reducer is None else reducer.map(result)
+
+
+def _default_chunksize(runs: int, pool_width: int) -> int:
+    """Seeds per pool dispatch: ~4 chunks per worker, like ``Pool.map``."""
+    chunksize, extra = divmod(runs, pool_width * 4)
+    return chunksize + 1 if extra else max(chunksize, 1)
 
 
 def run_many(
@@ -51,7 +107,10 @@ def run_many(
     base_seed: int = 0,
     backend: str = DEFAULT_BACKEND,
     workers: int | None = None,
-) -> list[SimulationResult]:
+    reduce=None,
+    chunksize: int | None = None,
+    record_probabilities: bool | None = None,
+):
     """Run ``scenario`` ``runs`` times with consecutive seeds.
 
     Parameters
@@ -63,18 +122,75 @@ def run_many(
         fans the runs out over a ``ProcessPoolExecutor`` with up to that many
         workers; results come back in seed order and are bit-identical to a
         serial run.
+    reduce:
+        ``None`` returns the full per-run results as a list.  A
+        :class:`~repro.analysis.reducers.Reducer` instance (or built-in
+        reducer name, e.g. ``"summary"``) is applied to each run *where it
+        executes* — inside the pool worker, or between serial runs — and
+        ``run_many`` returns the reducer's finalized merge instead of a
+        list, keeping peak memory at O(one run).
+    chunksize:
+        Seeds per pool dispatch (parallel path only).  Defaults to ~4 chunks
+        per worker.
+    record_probabilities:
+        Whether runs record the per-slot probability tensor.  Defaults to
+        ``True`` for full results and to the reducer's
+        ``needs_probabilities`` when reducing.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
     if workers is not None and workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
-    seeds = [base_seed + i for i in range(runs)]
+    if chunksize is not None and chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    # Imported lazily: repro.analysis modules import repro.sim.metrics, so a
+    # top-level import here would be circular through repro.sim.__init__.
+    from repro.analysis.reducers import resolve_reducer
+
+    reducer = resolve_reducer(reduce)
+    if record_probabilities is None:
+        record_probabilities = (
+            reducer.needs_probabilities if reducer is not None else True
+        )
+
+    executor = get_backend(backend)  # resolve (and validate) in the parent
+    seeds = range(base_seed, base_seed + runs)
+
     if workers is not None and workers > 1 and runs > 1:
-        executor = get_backend(backend)  # resolve (and validate) in the parent
-        jobs = [(scenario, seed, executor) for seed in seeds]
-        with ProcessPoolExecutor(max_workers=min(workers, runs)) as pool:
-            return list(pool.map(_run_one, jobs))
-    return [run_simulation(scenario, seed=seed, backend=backend) for seed in seeds]
+        pool_width = min(workers, runs)
+        if chunksize is None:
+            chunksize = _default_chunksize(runs, pool_width)
+        with ProcessPoolExecutor(
+            max_workers=pool_width,
+            initializer=_init_worker,
+            initargs=(scenario, executor, reducer, record_probabilities),
+        ) as pool:
+            payloads = list(pool.map(_run_seed, seeds, chunksize=chunksize))
+        if reducer is None:
+            return payloads
+        merged = payloads[0]
+        for payload in payloads[1:]:
+            merged = reducer.merge(merged, payload)
+        return reducer.finalize(merged)
+
+    if reducer is None:
+        return [
+            executor.execute(
+                scenario, seed, record_probabilities=record_probabilities
+            )
+            for seed in seeds
+        ]
+    # Serial streaming: each run is reduced before the next one is executed,
+    # so only one full record is alive at any time.
+    merged = None
+    for seed in seeds:
+        payload = reducer.map(
+            executor.execute(
+                scenario, seed, record_probabilities=record_probabilities
+            )
+        )
+        merged = payload if merged is None else reducer.merge(merged, payload)
+    return reducer.finalize(merged)
 
 
 def run_policies(
@@ -84,9 +200,15 @@ def run_policies(
     base_seed: int = 0,
     backend: str = DEFAULT_BACKEND,
     workers: int | None = None,
-) -> dict[str, list[SimulationResult]]:
-    """Run the same scenario once per policy name (all devices use that policy)."""
-    results: dict[str, list[SimulationResult]] = {}
+    reduce=None,
+    chunksize: int | None = None,
+) -> dict:
+    """Run the same scenario once per policy name (all devices use that policy).
+
+    With ``reduce=`` each policy maps to its finalized reduction instead of a
+    list of full results.
+    """
+    results: dict = {}
     for policy in policies:
         results[policy] = run_many(
             scenario.with_policy(policy),
@@ -94,5 +216,7 @@ def run_policies(
             base_seed,
             backend=backend,
             workers=workers,
+            reduce=reduce,
+            chunksize=chunksize,
         )
     return results

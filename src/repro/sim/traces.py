@@ -18,7 +18,7 @@ of its choice (no sharing, exactly as in the paper's single-device replay).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
 import numpy as np
@@ -40,7 +40,13 @@ TRACE_SLOTS = 100
 
 @dataclass(frozen=True)
 class TracePair:
-    """Simultaneous per-slot bit rates (Mbps) of a WiFi and a cellular network."""
+    """Simultaneous per-slot bit rates (Mbps) of a WiFi and a cellular network.
+
+    The traces are ingested straight into one columnar ``(2, num_slots)``
+    block (:attr:`rates_matrix`, rows indexed by network id) — the same
+    struct-of-arrays layout the result path uses — so per-slot lookups and
+    whole-trace reductions are array operations, not per-record objects.
+    """
 
     name: str
     wifi_mbps: np.ndarray
@@ -57,31 +63,37 @@ class TracePair:
             raise ValueError("traces must not be empty")
         if np.any(wifi < 0) or np.any(cellular < 0):
             raise ValueError("bit rates must be non-negative")
-        object.__setattr__(self, "wifi_mbps", wifi)
-        object.__setattr__(self, "cellular_mbps", cellular)
+        matrix = np.empty((2, wifi.size), dtype=float)
+        matrix[WIFI_ID] = wifi
+        matrix[CELLULAR_ID] = cellular
+        object.__setattr__(self, "wifi_mbps", matrix[WIFI_ID])
+        object.__setattr__(self, "cellular_mbps", matrix[CELLULAR_ID])
+        object.__setattr__(self, "rates_matrix", matrix)
+
+    #: ``(2, num_slots)`` columnar block; row ``network_id`` holds that
+    #: network's per-slot rates (rows are views shared with ``wifi_mbps`` /
+    #: ``cellular_mbps``).
+    rates_matrix: np.ndarray = field(init=False, repr=False)
 
     @property
     def num_slots(self) -> int:
-        return int(self.wifi_mbps.size)
+        return int(self.rates_matrix.shape[1])
 
     @property
     def max_rate_mbps(self) -> float:
-        return float(max(np.max(self.wifi_mbps), np.max(self.cellular_mbps)))
+        return float(np.max(self.rates_matrix))
 
     def rate(self, network_id: int, slot: int) -> float:
         """Traced rate of ``network_id`` at 1-based ``slot`` (clamped to the end)."""
+        if network_id not in (WIFI_ID, CELLULAR_ID):
+            raise KeyError(f"trace pair has no network {network_id}")
         index = min(max(slot - 1, 0), self.num_slots - 1)
-        if network_id == WIFI_ID:
-            return float(self.wifi_mbps[index])
-        if network_id == CELLULAR_ID:
-            return float(self.cellular_mbps[index])
-        raise KeyError(f"trace pair has no network {network_id}")
+        return float(self.rates_matrix[network_id, index])
 
     def best_single_network_download_mb(self, slot_duration_s: float = 15.0) -> float:
         """Download (MB) of clairvoyantly staying on the single best network."""
-        wifi = float(np.sum(self.wifi_mbps)) * slot_duration_s / 8.0
-        cellular = float(np.sum(self.cellular_mbps)) * slot_duration_s / 8.0
-        return max(wifi, cellular)
+        totals = self.rates_matrix.sum(axis=1) * slot_duration_s / 8.0
+        return float(np.max(totals))
 
 
 def _smooth_walk(

@@ -16,7 +16,7 @@ from repro.sim.metrics import SimulationResult
 def empirical_switches(result: SimulationResult, device_id: int | None = None) -> int:
     """Number of network switches in a run (one device or all devices)."""
     if device_id is not None:
-        return result.switch_count(device_id)
+        return int(result.switch_counts((device_id,))[0])
     return result.total_switches()
 
 
@@ -30,15 +30,22 @@ def _best_in_hindsight_goodput_mb(result: SimulationResult, device_id: int) -> f
     the device did not sample in a slot, the fair-share estimate from the
     recorded allocation is used.
     """
-    active = result.active[device_id]
+    row = result.row_index(device_id)
+    active_slots = np.flatnonzero(result.active_2d[row])
+    # One allocation per active slot, shared by every network's counterfactual.
+    allocations = {
+        int(slot_index): result.allocation_at(int(slot_index))
+        for slot_index in active_slots
+    }
+    choices = result.choices_2d[row]
+    rates = result.rates_2d[row]
     best_megabits = 0.0
     for network_id, network in result.networks.items():
         total_megabits = 0.0
-        for slot_index in np.flatnonzero(active):
-            allocation = result.allocation_at(int(slot_index))
-            chosen = int(result.choices[device_id][slot_index])
-            if chosen == network_id:
-                rate = float(result.rates_mbps[device_id][slot_index])
+        for slot_index in active_slots:
+            allocation = allocations[int(slot_index)]
+            if int(choices[slot_index]) == network_id:
+                rate = float(rates[slot_index])
             else:
                 # Joining this network would add one more client.
                 rate = network.shared_rate(allocation.get(network_id, 0) + 1)
@@ -54,7 +61,7 @@ def empirical_weak_regret(result: SimulationResult, device_id: int) -> float:
     downloaded more than the policy did (including what the policy lost to
     switching delays).
     """
-    achieved_mb = result.download_mb(device_id)
+    achieved_mb = float(result.downloads_mb((device_id,))[0])
     best_mb = _best_in_hindsight_goodput_mb(result, device_id)
     return best_mb - achieved_mb
 
