@@ -33,13 +33,18 @@ from repro.analysis import (
 from repro.core import SmartEXP3Config, SmartEXP3Policy
 from repro.game import Network, NetworkType, distance_to_nash, nash_equilibrium_allocation
 from repro.sim import (
+    NetworkDynamics,
+    PoissonChurn,
     Scenario,
     SimulationResult,
+    TraceChurn,
     available_backends,
+    churn_scenario,
     dynamic_join_leave_scenario,
     dynamic_leave_scenario,
     get_backend,
     mobility_scenario,
+    per_slot_churn_scenario,
     register_backend,
     run_many,
     run_simulation,
@@ -52,15 +57,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Network",
+    "NetworkDynamics",
     "NetworkType",
+    "PoissonChurn",
     "Scenario",
     "SimulationResult",
     "SmartEXP3Config",
     "SmartEXP3Policy",
+    "TraceChurn",
     "available_backends",
     "available_policies",
+    "churn_scenario",
     "create_policy",
     "get_backend",
+    "per_slot_churn_scenario",
     "register_backend",
     "distance_to_nash",
     "distance_to_nash_series",

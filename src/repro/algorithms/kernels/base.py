@@ -9,16 +9,27 @@ builds one kernel per group, and replaces the ``2·N`` per-slot Python calls
 (``begin_slot`` / ``end_slot`` per device) with one fused ``begin_slot`` /
 ``end_slot`` pair per kernel.
 
-Lifecycle (all within one topology segment, where the active set and every
-device's visible networks are constant):
+Lifecycle (kernels persist across the whole run; topology changes edit the
+membership instead of tearing the group down):
 
 1. ``__init__`` *gathers* the scalar policies' state into arrays.
 2. ``begin_slot`` returns the global network-column choice for every row.
 3. ``end_slot`` consumes the realised gains, updates the batched state and
    writes the per-slot mixed strategies into the recorder as one block write.
-4. ``flush`` *scatters* the state back into the scalar policy objects, so
-   reference slots at the next topology boundary (and the final result
-   assembly) observe exactly the state a pure scalar execution would have.
+4. ``remove_rows`` / ``absorb`` apply topology edits in place: a departing or
+   coverage-changed device is scattered back to its scalar policy and its
+   rows deleted; joining devices are gathered by constructing a small kernel
+   of the same class and concatenating its row state.
+5. ``flush`` *scatters* every row back into the scalar policy objects at the
+   end of the run (and ``_flush_rows`` does it for membership edits), so the
+   final result assembly observes exactly the state a pure scalar execution
+   would have.
+
+Row state is discovered structurally: every ``ndarray`` attribute whose
+leading axis has length ``size`` is treated as one-row-per-device (plus the
+``policies`` / ``runtimes`` / ``rngs`` lists and any Python-list state the
+kernel declares in :attr:`BatchKernel.ROW_LIST_ATTRS`).  Kernels with
+derived, index-valued caches rebuild them in :meth:`BatchKernel._refresh_derived`.
 
 The RNG-equivalence contract is documented in
 :mod:`repro.algorithms.kernels`; the helpers below implement its two pillars:
@@ -99,6 +110,10 @@ class BatchKernel(ABC):
     #: the executor's counterfactual-gain gating.
     needs_full_feedback: bool = False
 
+    #: Python-list attributes holding one entry per row (parallel to
+    #: ``policies``); membership edits slice/extend them alongside the arrays.
+    ROW_LIST_ATTRS: tuple[str, ...] = ()
+
     @classmethod
     def group_key(cls, policy: Policy) -> Hashable | None:
         """Hashable batching key for ``policy``; ``None`` → scalar fallback.
@@ -111,16 +126,15 @@ class BatchKernel(ABC):
 
     def __init__(
         self,
-        entries: Sequence[tuple[int, int, object, Policy]],
+        entries: Sequence[tuple[int, object, Policy]],
         recorder,
     ) -> None:
-        """Gather ``entries`` (``(pos, row, runtime, policy)`` in ascending
-        device order, as produced by the vectorized backend) into array state.
+        """Gather ``entries`` (``(row, runtime, policy)`` as produced by the
+        vectorized backend) into array state.
         """
-        self.positions = np.asarray([e[0] for e in entries], dtype=np.intp)
-        self.rows = np.asarray([e[1] for e in entries], dtype=np.intp)
-        self.runtimes = [e[2] for e in entries]
-        self.policies: list[Policy] = [e[3] for e in entries]
+        self.rows = np.asarray([e[0] for e in entries], dtype=np.intp)
+        self.runtimes = [e[1] for e in entries]
+        self.policies: list[Policy] = [e[2] for e in entries]
         self.recorder = recorder
         first = self.policies[0]
         #: The group's network ids in ascending order — the shared column axis
@@ -146,6 +160,90 @@ class BatchKernel(ABC):
         if block is None:  # probability recording disabled for this run
             return
         block[self.rows[:, None], slot_index, self.cols[None, :]] = values
+
+    # ------------------------------------------------------- membership edits
+    def _row_array_attrs(self) -> list[str]:
+        """Names of the instance's row-major state arrays.
+
+        Any ``ndarray`` whose leading axis has length ``size`` is row state
+        (``cols`` / ``_arange`` are the only same-length arrays that are not,
+        and only when the group happens to have as many rows as networks).
+        """
+        skip = {"cols", "_arange"}
+        size = self.size
+        return [
+            name
+            for name, value in vars(self).items()
+            if name not in skip
+            and isinstance(value, np.ndarray)
+            and value.ndim >= 1
+            and value.shape[0] == size
+        ]
+
+    def _refresh_derived(self) -> None:
+        """Rebuild caches derived from row indices after a membership edit."""
+
+    def _flush_rows(self, indices: Sequence[int]) -> None:
+        """Scatter only ``indices`` back to their scalar policies.
+
+        The default scatters the whole group (always correct — scattering is
+        a pure export of the batched state); built-in kernels override it so
+        per-slot churn does not pay a full-group flush per departure.
+        """
+        self.flush()
+
+    def remove_rows(self, local_indices: Sequence[int]) -> None:
+        """Flush ``local_indices`` to their scalar policies and drop the rows.
+
+        Used by the executor when devices leave or their visible-network set
+        changes (the device then re-enters another group via a fresh gather).
+        """
+        local = sorted({int(index) for index in local_indices})
+        self._flush_rows(local)
+        keep = np.ones(self.size, dtype=bool)
+        keep[local] = False
+        for name in self._row_array_attrs():
+            setattr(self, name, getattr(self, name)[keep])
+        for name in self.ROW_LIST_ATTRS:
+            values = getattr(self, name)
+            setattr(self, name, [v for j, v in enumerate(values) if keep[j]])
+        self.policies = [p for j, p in enumerate(self.policies) if keep[j]]
+        self.runtimes = [r for j, r in enumerate(self.runtimes) if keep[j]]
+        self.rngs = [r for j, r in enumerate(self.rngs) if keep[j]]
+        self.size = len(self.policies)
+        self._arange = np.arange(self.size)
+        self._refresh_derived()
+
+    def absorb(self, other: "BatchKernel") -> None:
+        """Append ``other``'s rows (a freshly gathered kernel of this class).
+
+        ``other`` must share this kernel's class and group key, so the network
+        axes agree.  Transient per-slot arrays the fresh kernel has not
+        populated yet are zero-padded; every kernel overwrites them in its
+        next ``begin_slot``/``end_slot`` before they are read or flushed.
+        """
+        if type(other) is not type(self) or other.nets != self.nets:
+            raise ValueError("can only absorb a kernel of the same group")
+        for name in self._row_array_attrs():
+            mine = getattr(self, name)
+            theirs = getattr(other, name, None)
+            if (
+                not isinstance(theirs, np.ndarray)
+                or theirs.shape[:1] != (other.size,)
+                or theirs.shape[1:] != mine.shape[1:]
+            ):
+                theirs = np.zeros(
+                    (other.size,) + mine.shape[1:], dtype=mine.dtype
+                )
+            setattr(self, name, np.concatenate([mine, theirs]))
+        for name in self.ROW_LIST_ATTRS:
+            setattr(self, name, list(getattr(self, name)) + list(getattr(other, name)))
+        self.policies = self.policies + other.policies
+        self.runtimes = self.runtimes + other.runtimes
+        self.rngs = self.rngs + other.rngs
+        self.size = len(self.policies)
+        self._arange = np.arange(self.size)
+        self._refresh_derived()
 
     @abstractmethod
     def begin_slot(self, slot: int) -> np.ndarray:

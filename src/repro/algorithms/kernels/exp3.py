@@ -100,8 +100,12 @@ class EXP3Kernel(BatchKernel):
         self.record_probability_block(slot_index, probs / total[:, None])
 
     def flush(self) -> None:
+        self._flush_rows(range(self.size))
+
+    def _flush_rows(self, indices) -> None:
         probs = self._probs
-        for j, policy in enumerate(self.policies):
+        for j in indices:
+            policy = self.policies[j]
             policy.weight_values[:] = self.weights[j]
             policy._round = int(self.rounds[j])
             policy._last_choice = self.nets[self._last_local[j]]

@@ -96,7 +96,11 @@ class FullInformationKernel(BatchKernel):
         self.record_probability_block(slot_index, self.weights / total[:, None])
 
     def flush(self) -> None:
-        for j, policy in enumerate(self.policies):
+        self._flush_rows(range(self.size))
+
+    def _flush_rows(self, indices) -> None:
+        for j in indices:
+            policy = self.policies[j]
             policy._weights = {
                 net: float(w) for net, w in zip(self.nets, self.weights[j])
             }

@@ -19,6 +19,8 @@ _NO_CHOICE = -1
 class GreedyKernel(BatchKernel):
     """Array-native explore-once-then-argmax selection."""
 
+    ROW_LIST_ATTRS = ("to_explore",)
+
     def __init__(self, entries, recorder) -> None:
         super().__init__(entries, recorder)
         policies = self.policies
@@ -42,6 +44,9 @@ class GreedyKernel(BatchKernel):
             ],
             dtype=np.intp,
         )
+        self._exploring = [j for j in range(self.size) if self.to_explore[j]]
+
+    def _refresh_derived(self) -> None:
         self._exploring = [j for j in range(self.size) if self.to_explore[j]]
 
     def _best_locals(self) -> np.ndarray:
@@ -101,7 +106,11 @@ class GreedyKernel(BatchKernel):
         self.record_probability_block(slot_index, probs)
 
     def flush(self) -> None:
-        for j, policy in enumerate(self.policies):
+        self._flush_rows(range(self.size))
+
+    def _flush_rows(self, indices) -> None:
+        for j in indices:
+            policy = self.policies[j]
             policy._gain_sum = {
                 net: float(s) for net, s in zip(self.nets, self.gain_sum[j])
             }

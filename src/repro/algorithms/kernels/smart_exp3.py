@@ -257,7 +257,9 @@ class SmartEXP3Kernel(BatchKernel):
         self.blk_len[j] = length
         self.blk_elapsed[j] = 0
         self.blk_total[j] = 0.0
-        self.blk_prob[j] = probability
+        # Same one-ulp clamp as SmartEXP3Policy._start_new_block (a
+        # one-network strategy set can push the sampled probability to 1+ulp).
+        self.blk_prob[j] = min(probability, 1.0)
         self.blk_type[j] = selection
         self.blk_trunc[j] = False
         self.tail_len[j] = 0
@@ -484,8 +486,12 @@ class SmartEXP3Kernel(BatchKernel):
 
     # ------------------------------------------------------------------ flush
     def flush(self) -> None:
+        self._flush_rows(range(self.size))
+
+    def _flush_rows(self, indices) -> None:
         nets = self.nets
-        for j, policy in enumerate(self.policies):
+        for j in indices:
+            policy = self.policies[j]
             policy._weights = {
                 net: float(w) for net, w in zip(nets, self.weights[j])
             }

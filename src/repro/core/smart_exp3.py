@@ -170,12 +170,15 @@ class SmartEXP3Policy(Policy):
             )
 
         length = self._scheduler.record_selection(network_id)
+        # A one-network strategy set makes (1-γ)·w/w + γ/1 land one ulp above
+        # 1; clamp so the block stays a valid probability (the kernel applies
+        # the identical clamp, keeping the paths bit-equal).
         self._current_block = Block(
             index=self._block_index,
             network_id=network_id,
             length=length,
             selection_type=selection_type,
-            probability=probability,
+            probability=min(probability, 1.0),
         )
 
     def _choose_learned(

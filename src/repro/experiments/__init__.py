@@ -29,6 +29,7 @@ harness in ``benchmarks/`` simply calls these functions.
 | ``fig15_controlled_mixed`` | Fig. 15 — testbed, mixed Smart/Greedy |
 | ``wild`` | §VII-B — in-the-wild 500 MB download race |
 | ``theory_validation`` | Theorems 2 & 3 — bounds vs empirical values |
+| ``churn_stress`` | beyond the paper — generative churn/mobility/outage scenarios |
 """
 
 from repro.experiments.common import ALL_POLICIES, BLOCK_POLICIES, DYNAMIC_POLICIES, ExperimentConfig

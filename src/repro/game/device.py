@@ -9,6 +9,7 @@ area trajectory — the decision making lives in ``repro.algorithms`` /
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 
@@ -48,6 +49,9 @@ class Device:
             )
         if any(slot < 1 for slot in self.area_schedule):
             raise ValueError("area_schedule keys must be >= 1")
+        # The schedule is fixed after construction; cache its sorted starts so
+        # per-slot area lookups are a single bisect instead of a sort.
+        self._schedule_starts = tuple(sorted(self.area_schedule))
 
     def is_active(self, slot: int) -> bool:
         """Whether the device is present in the service area at ``slot``."""
@@ -59,17 +63,13 @@ class Device:
 
     def area_at(self, slot: int, default: str = "default") -> str:
         """Service area occupied at ``slot`` (for mobility scenarios)."""
-        if not self.area_schedule:
+        starts = self._schedule_starts
+        if not starts:
             return default
-        active_key: int | None = None
-        for start in sorted(self.area_schedule):
-            if start <= slot:
-                active_key = start
-            else:
-                break
-        if active_key is None:
+        index = bisect_right(starts, slot) - 1
+        if index < 0:
             return default
-        return self.area_schedule[active_key]
+        return self.area_schedule[starts[index]]
 
 
 @dataclass

@@ -32,19 +32,30 @@ from repro.sim.delay import ConstantDelayModel, DelayModel, EmpiricalDelayModel,
 from repro.sim.engine import Event, EventQueue, SimulationEngine
 from repro.sim.environment import WirelessEnvironment
 from repro.sim.metrics import DeviceAxisView, SimulationResult
-from repro.sim.mobility import CoverageMap, ServiceArea
+from repro.sim.mobility import (
+    CoverageMap,
+    NetworkDynamics,
+    ServiceArea,
+    random_waypoint_schedule,
+)
 from repro.sim.runner import run_many, run_simulation
 from repro.sim.scenario import (
+    ChurnModel,
     DeviceSpec,
+    PoissonChurn,
     Scenario,
+    TraceChurn,
+    churn_scenario,
     dynamic_join_leave_scenario,
     dynamic_leave_scenario,
     mobility_scenario,
+    per_slot_churn_scenario,
     setting1_scenario,
     setting2_scenario,
 )
 
 __all__ = [
+    "ChurnModel",
     "ConstantDelayModel",
     "CoverageMap",
     "DEFAULT_BACKEND",
@@ -54,16 +65,22 @@ __all__ = [
     "EmpiricalDelayModel",
     "Event",
     "EventQueue",
+    "NetworkDynamics",
     "NoDelayModel",
+    "PoissonChurn",
     "Scenario",
     "ServiceArea",
     "SimulationEngine",
     "SimulationResult",
     "SlotExecutor",
     "SlotRecorder",
+    "TraceChurn",
     "WirelessEnvironment",
     "available_backends",
+    "churn_scenario",
     "get_backend",
+    "per_slot_churn_scenario",
+    "random_waypoint_schedule",
     "register_backend",
     "dynamic_join_leave_scenario",
     "dynamic_leave_scenario",

@@ -9,8 +9,11 @@ fast they get there:
 * ``"event"`` — :class:`EventSlotExecutor`, the reference implementation on
   the discrete-event calendar.
 * ``"vectorized"`` — :class:`VectorizedSlotExecutor`, batched NumPy physics
-  with segment-level caching of topology-invariant state and batched policy
-  kernels (:mod:`repro.algorithms.kernels`) for the learning policies.
+  with churn-native in-loop topology handling (joins/leaves/visibility
+  changes as membership edits on persistent kernel groups, driven by the
+  run's precomputed :class:`~repro.sim.backends.base.TopologyPlan`) and
+  batched policy kernels (:mod:`repro.algorithms.kernels`) for the learning
+  policies.
 * ``"vectorized-nokernel"`` — the same backend with the kernel layer
   disabled (every learning policy on the per-device scalar path); exists so
   benchmarks can measure the kernel layer in isolation.

@@ -12,9 +12,18 @@ here, so that any two backends produce bit-for-bit equal
 * :class:`SlotRecorder` — preallocated ``(device, slot)`` result arrays that
   backends write into directly; the final per-device arrays handed to
   :class:`SimulationResult` are row views into these blocks.
+* :class:`TopologyPlan` — the run's topology, precomputed as arrays and
+  per-slot edit events: the ``(devices × slots)`` activity mask from the
+  join/leave presence epochs, per-era ``(devices × networks)`` visibility
+  matrices, and for every slot the exact joins, departures and
+  visible-set changes a backend must apply before selection.  The
+  vectorized backend consumes the plan *in-loop* — topology changes are
+  membership edits on persistent kernel groups, not segment breaks — so
+  high-churn scenarios stay on the batched path.
 * :func:`execute_reference_slot` — the reference per-slot semantics
   (selection → physics → feedback/recording), used verbatim by the event
-  backend and at topology-change slots by the vectorized backend.
+  backend and by the cross-backend equivalence suite as the behavioural
+  oracle.
 
 The contract every backend must honour, in RNG-stream terms:
 
@@ -29,7 +38,8 @@ The contract every backend must honour, in RNG-stream terms:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -185,6 +195,160 @@ class SlotRecorder:
 
 
 @dataclass
+class TopologyEvents:
+    """The membership/visibility edits one slot boundary carries.
+
+    ``joins``/``leaves`` are recorder rows becoming active/inactive *at* the
+    slot; ``visibility`` lists ``(row, new_visible_set)`` pairs for devices
+    whose strategy set changes at the slot (service-area transition or a
+    network outage edge).  All three lists are in ascending row order.
+    """
+
+    joins: list[int] = field(default_factory=list)
+    leaves: list[int] = field(default_factory=list)
+    visibility: list[tuple[int, frozenset[int]]] = field(default_factory=list)
+
+
+class TopologyPlan:
+    """Array-native schedule of every topology change of one run.
+
+    Built once per run from the scenario's presence windows
+    (``join_slot``/``leave_slot``), area schedules and coverage outages:
+
+    * ``join_slots`` / ``leave_slots`` — per-row presence epochs (leave
+      clipped to the horizon); :meth:`activity_mask` expands them to the
+      ``(devices × slots)`` boolean presence mask.
+    * ``events`` — slot → :class:`TopologyEvents`, exactly the edits the
+      reference path's per-slot checks would perform (a visibility event
+      appears only when the visible set actually changes while the device
+      is present, mirroring ``update_available_networks`` semantics).
+    * ``era_starts`` / ``visibility_eras`` — coverage eras (area-transition
+      and outage boundaries) with one ``(devices × networks)`` boolean
+      visibility matrix per era.
+    """
+
+    __slots__ = (
+        "num_slots",
+        "network_order",
+        "join_slots",
+        "leave_slots",
+        "events",
+        "event_slots",
+        "era_starts",
+        "_coverage",
+        "_devices",
+        "_visibility_eras",
+        "_active_mask",
+    )
+
+    def __init__(
+        self, scenario: Scenario, devices: Sequence, num_slots: int
+    ) -> None:
+        coverage = scenario.coverage
+        self.num_slots = num_slots
+        self.network_order = tuple(sorted(scenario.network_map))
+        self.join_slots = np.asarray(
+            [device.join_slot for device in devices], dtype=np.int64
+        )
+        self.leave_slots = np.asarray(
+            [
+                num_slots
+                if device.leave_slot is None
+                else min(device.leave_slot, num_slots)
+                for device in devices
+            ],
+            dtype=np.int64,
+        )
+        self._active_mask: np.ndarray | None = None
+
+        outage_boundaries = coverage.outage_boundary_slots()
+        events: dict[int, TopologyEvents] = {}
+
+        def at(slot: int) -> TopologyEvents:
+            found = events.get(slot)
+            if found is None:
+                found = events[slot] = TopologyEvents()
+            return found
+
+        for row, device in enumerate(devices):
+            join = int(self.join_slots[row])
+            leave = int(self.leave_slots[row])
+            if join > num_slots:
+                continue  # never present within the horizon
+            at(join).joins.append(row)
+            if leave + 1 <= num_slots:
+                at(leave + 1).leaves.append(row)
+            # Effective visibility changes: the slots where the reference
+            # path's per-slot check would call update_available_networks.
+            candidates = {
+                slot for slot in device.area_schedule if join < slot <= leave
+            }
+            candidates.update(
+                slot for slot in outage_boundaries if join < slot <= leave
+            )
+            current = coverage.visible_networks(device, join)
+            for slot in sorted(candidates):
+                visible = coverage.visible_networks(device, slot)
+                if visible != current:
+                    at(slot).visibility.append((row, visible))
+                    current = visible
+
+        self.events = events
+        self.event_slots = sorted(events)
+
+        era_starts = {1}
+        for device in devices:
+            era_starts.update(
+                slot for slot in device.area_schedule if 1 < slot <= num_slots
+            )
+        era_starts.update(
+            slot for slot in outage_boundaries if 1 < slot <= num_slots
+        )
+        self.era_starts = tuple(sorted(era_starts))
+        self._coverage = coverage
+        self._devices = tuple(devices)
+        self._visibility_eras: tuple[np.ndarray, ...] | None = None
+
+    @property
+    def visibility_eras(self) -> tuple[np.ndarray, ...]:
+        """One ``(devices × networks)`` boolean visibility matrix per era.
+
+        Built lazily — the executors consume the per-slot events instead, so
+        runs only pay the O(eras × devices) fill when something (analysis,
+        tests) actually asks for the era matrices.
+        """
+        eras = self._visibility_eras
+        if eras is None:
+            col_of = {n: c for c, n in enumerate(self.network_order)}
+            matrices = []
+            for start in self.era_starts:
+                matrix = np.zeros(
+                    (len(self._devices), len(col_of)), dtype=bool
+                )
+                for row, device in enumerate(self._devices):
+                    for network_id in self._coverage.visible_networks(
+                        device, start
+                    ):
+                        col = col_of.get(network_id)
+                        if col is not None:
+                            matrix[row, col] = True
+                matrices.append(matrix)
+            eras = self._visibility_eras = tuple(matrices)
+        return eras
+
+    def activity_mask(self) -> np.ndarray:
+        """``(devices × slots)`` presence mask from the join/leave epochs."""
+        mask = self._active_mask
+        if mask is None:
+            slots = np.arange(1, self.num_slots + 1)
+            mask = (slots >= self.join_slots[:, None]) & (
+                slots <= self.leave_slots[:, None]
+            )
+            self._active_mask = mask
+        return mask
+
+
+@dataclass
 class RunState:
     """Everything a backend needs to execute one run."""
 
@@ -197,6 +361,7 @@ class RunState:
     any_full_feedback: bool
     num_slots: int
     recorder: SlotRecorder
+    topology: TopologyPlan
 
     def finish(self) -> SimulationResult:
         return self.recorder.result(self.scenario, self.seed, self.runtimes)
@@ -219,6 +384,11 @@ def prepare_run(
     device_ids = tuple(sorted(runtimes))
     network_order = tuple(sorted(scenario.network_map))
     num_slots = scenario.horizon_slots
+    topology = TopologyPlan(
+        scenario,
+        [runtimes[d].spec.device for d in device_ids],
+        num_slots,
+    )
     return RunState(
         scenario=scenario,
         seed=seed,
@@ -233,6 +403,7 @@ def prepare_run(
         recorder=SlotRecorder(
             device_ids, network_order, num_slots, record_probabilities
         ),
+        topology=topology,
     )
 
 

@@ -1,4 +1,4 @@
-"""Vectorized backend: batched slot physics and batched policy kernels.
+"""Vectorized backend: batched slot physics with churn-native topology.
 
 The reference (event) backend spends most of its time in per-device Python:
 throwaway dicts for allocation counts and realised rates, per-device scalar
@@ -9,44 +9,42 @@ devices:
 * Allocation counts come from one ``np.bincount`` over the per-device choice
   columns; equal-share rates and the full-information counterfactual gains
   are array expressions over the network axis.
-* The horizon is split into *segments* at topology-change slots (device
-  joins/leaves and service-area transitions).  Within a segment the active
-  set and every device's visible-network set are constant, so coverage is
-  resolved once per segment instead of once per device per slot.
+* Topology is consumed from the run's precomputed
+  :class:`~repro.sim.backends.base.TopologyPlan` **in-loop**: joins, leaves
+  and visible-set changes are membership edits applied at the affected slot —
+  kernel groups persist across topology changes (departing/re-covered rows
+  are scattered back to their scalar policies and deleted, joining rows are
+  gathered and absorbed) instead of the whole horizon being segmented with a
+  scalar reference slot at every boundary.  A scenario with per-slot churn
+  therefore stays on the batched path.
 * Devices running a :attr:`~repro.algorithms.base.Policy.stationary` policy
-  (Fixed Random, Centralized) are *frozen* within a segment: their choice
-  and mixed strategy cannot change between topology slots, so their result
-  rows are broadcast once per segment and the per-slot loop never visits
-  them.
+  (Fixed Random, Centralized) are *frozen*: their choice and mixed strategy
+  can only change at a topology event affecting them, so their result rows
+  are broadcast per event-free span and the per-slot loop never visits them.
 * Learning policies execute through **batched kernels**
   (:mod:`repro.algorithms.kernels`): devices sharing a policy family and
   visible-network set advance as one ``(devices × networks)`` array program —
   one fused selection, one fused update and one probability block write per
   slot, instead of ``begin_slot``/``end_slot``/``record_probabilities``
-  round-trips per device.  Policies without a registered kernel fall back to
-  the per-device scalar path (registry lookup:
+  round-trips per device.  Policies without a registered kernel run on the
+  per-device scalar fallback path (registry lookup:
   :func:`repro.algorithms.registry.kernel_for_policy`).
 * Results are written straight into the preallocated
   :class:`~repro.sim.backends.base.SlotRecorder` blocks with column/row/block
-  array writes.
+  array writes; the activity block is one copy of the plan's presence mask.
 
 Bit-exactness with the event backend is preserved because the RNG streams
 are consumed in the identical order (see :mod:`repro.sim.backends.base` and
 the kernel contract in :mod:`repro.algorithms.kernels`): the equal-share
 gain model draws nothing, switching delays are drawn per switching device in
 ascending device order, and every policy keeps its private generator — the
-kernels replicate each policy's draws stream-for-stream.  Gain models other
-than :class:`EqualShareModel` consume the environment RNG, so they take a
-generic per-slot path that routes through
+kernels replicate each policy's draws stream-for-stream, and topology edits
+route through the same scalar ``update_available_networks`` calls the
+reference path performs, at the same slots.  Gain models other than
+:class:`EqualShareModel` consume the environment RNG, so they take a generic
+per-slot path that routes through
 :meth:`WirelessEnvironment.realized_rates` with the same device-ordered
-association grouping the event backend builds (built once per slot and
-shared with the allocation counts).
-
-The first slot of every segment (including slot 1) runs through
-:func:`~repro.sim.backends.base.execute_reference_slot`, so visibility
-updates, policy re-selection after coverage changes and join/leave edges
-share one implementation with the event backend; kernels gather the scalar
-policy state after that slot and scatter it back at the segment boundary.
+association grouping the event backend builds.
 """
 
 from __future__ import annotations
@@ -58,39 +56,24 @@ from repro.algorithms.base import Observation
 from repro.algorithms.kernels.base import SlotFeedback
 from repro.algorithms.registry import kernel_for_policy
 from repro.game.gain import EqualShareModel
-from repro.sim.backends.base import (
-    SlotExecutor,
-    execute_reference_slot,
-    prepare_run,
-)
+from repro.sim.backends.base import SlotExecutor, prepare_run
 from repro.sim.metrics import SimulationResult
 from repro.sim.scenario import Scenario
 
-
-def _topology_slots(devices, num_slots: int) -> list[int]:
-    """Slots where the active set or any device's coverage can change."""
-    boundaries = {1}
-    for device in devices:
-        if 1 <= device.join_slot <= num_slots:
-            boundaries.add(device.join_slot)
-        if device.leave_slot is not None and device.leave_slot + 1 <= num_slots:
-            boundaries.add(device.leave_slot + 1)
-        for key in device.area_schedule:
-            if 1 <= key <= num_slots:
-                boundaries.add(key)
-    return sorted(boundaries)
+#: Per-row execution class, fixed for the whole run (the *group* a kernel row
+#: belongs to changes with its visible set; its class never does).
+_FROZEN, _KERNEL, _FALLBACK = 0, 1, 2
 
 
 class VectorizedSlotExecutor(SlotExecutor):
-    """Batched per-slot physics with segment-level caching and policy kernels."""
+    """Batched per-slot physics with in-loop topology edits and policy kernels."""
 
     name = "vectorized"
 
     def __init__(self, use_kernels: bool = True) -> None:
-        #: When False, every learning policy takes the per-device scalar path
-        #: (the PR-1 behaviour); kept addressable as the
-        #: ``"vectorized-nokernel"`` backend so benchmarks can measure the
-        #: kernel layer in isolation.
+        #: When False, every learning policy takes the per-device scalar path;
+        #: kept addressable as the ``"vectorized-nokernel"`` backend so
+        #: benchmarks can measure the kernel layer in isolation.
         self.use_kernels = use_kernels
         if not use_kernels:
             self.name = "vectorized-nokernel"
@@ -102,13 +85,14 @@ class VectorizedSlotExecutor(SlotExecutor):
         record_probabilities: bool = True,
     ) -> SimulationResult:
         state = prepare_run(scenario, seed, record_probabilities)
+        plan = state.topology
         environment = state.environment
         recorder = state.recorder
         device_ids = state.device_ids
         num_slots = state.num_slots
         num_devices = len(device_ids)
         runtimes_by_row = [state.runtimes[d] for d in device_ids]
-        devices = [rt.spec.device for rt in runtimes_by_row]
+        policies_by_row = [rt.policy for rt in runtimes_by_row]
         network_order = state.network_order
         num_networks = len(network_order)
         network_col = recorder.network_col
@@ -128,134 +112,242 @@ class VectorizedSlotExecutor(SlotExecutor):
         delays2d = recorder.delays
         switches2d = recorder.switches
         active2d = recorder.active
+        prob_block = recorder.probabilities
 
-        topology = _topology_slots(devices, num_slots)
-        topology.append(num_slots + 1)
+        if not plan.event_slots:
+            return state.finish()  # no device is ever present
+        active2d[:] = plan.activity_mask()
 
-        for seg in range(len(topology) - 1):
-            seg_start = topology[seg]
-            seg_end = topology[seg + 1]  # segment covers slots [seg_start, seg_end)
-
-            # The first slot of a segment carries all the state transitions
-            # (visibility updates, joins, post-coverage re-selection); run it
-            # through the shared reference implementation.
-            execute_reference_slot(state, seg_start)
-            if seg_end - seg_start <= 1:
-                continue
-
-            # ---- segment caches: constant for slots seg_start+1 .. seg_end-1
-            act_rows_list = [
-                row for row in range(num_devices) if devices[row].is_active(seg_start)
-            ]
-            if not act_rows_list:
-                continue
-            act_rows = np.asarray(act_rows_list, dtype=np.intp)
-            all_active = len(act_rows_list) == num_devices
-            idx_lo, idx_hi = seg_start, seg_end - 1  # 0-based column range
-            seg_cols = np.arange(idx_lo, idx_hi)
-
-            if all_active:
-                active2d[:, idx_lo:idx_hi] = True
+        # ---- static per-row execution class
+        category = np.empty(num_devices, dtype=np.int8)
+        for row, policy in enumerate(policies_by_row):
+            if policy.stationary and not policy.needs_full_feedback:
+                category[row] = _FROZEN
             else:
-                active2d[np.ix_(act_rows, seg_cols)] = True
+                kernel_cls = (
+                    kernel_for_policy(policy) if self.use_kernels else None
+                )
+                if (
+                    kernel_cls is not None
+                    and kernel_cls.group_key(policy) is not None
+                ):
+                    category[row] = _KERNEL
+                else:
+                    category[row] = _FALLBACK
 
-            # Choice column per active device; frozen entries are fixed for
-            # the whole segment, live entries are refreshed every slot.
-            choice_cols = np.empty(len(act_rows_list), dtype=np.intp)
-            live: list[tuple[int, int, object, object]] = []
-            for pos, row in enumerate(act_rows_list):
+        # ---- persistent run state
+        active = np.zeros(num_devices, dtype=bool)
+        choice_col = np.zeros(num_devices, dtype=np.intp)
+        prev_col = np.full(num_devices, -1, dtype=np.intp)
+        kernels_by_key: dict = {}  # (kernel class, group key) -> kernel
+        kernel_of: dict = {}  # row -> kernel
+        fallback_rows: set[int] = set()
+        frozen_dirty: set[int] = set()
+        frozen_probs: dict[int, tuple[list, np.ndarray]] = {}
+
+        def attach_kernel_row(row: int, pending: dict) -> None:
+            """Queue a kernel-class row for (re-)gathering into its group."""
+            runtime = runtimes_by_row[row]
+            policy = runtime.policy
+            kernel_cls = kernel_for_policy(policy)
+            key = (
+                kernel_cls.group_key(policy) if kernel_cls is not None else None
+            )
+            if key is None:  # e.g. a custom group_key vetoing this config
+                category[row] = _FALLBACK
+                fallback_rows.add(row)
+                return
+            pending.setdefault((kernel_cls, key), []).append(
+                (row, runtime, policy)
+            )
+
+        def apply_events(events) -> None:
+            """Apply one boundary's joins/leaves/visibility edits in place."""
+            removals: dict = {}  # kernel -> list of local row indices
+            pending: dict = {}  # (kernel class, key) -> fresh gather entries
+
+            def detach(row: int) -> None:
+                kernel = kernel_of.pop(row, None)
+                if kernel is not None:
+                    local = int(np.nonzero(kernel.rows == row)[0][0])
+                    removals.setdefault(kernel, []).append(local)
+
+            for row in events.leaves:
+                active[row] = False
+                cat = category[row]
+                if cat == _KERNEL:
+                    detach(row)
+                elif cat == _FALLBACK:
+                    fallback_rows.discard(row)
+                else:
+                    frozen_probs.pop(row, None)
+                    frozen_dirty.discard(row)
+            for row, _visible in events.visibility:
+                if category[row] == _KERNEL:
+                    detach(row)
+
+            # Scatter departing/re-covered rows back to their scalar policies
+            # *before* any visible-set update touches those policies.
+            for kernel, local_rows in removals.items():
+                if len(local_rows) == kernel.size:
+                    kernel.flush()
+                    kernels_by_key.pop(kernel._executor_key, None)
+                else:
+                    kernel.remove_rows(local_rows)
+
+            for row, visible in events.visibility:
                 runtime = runtimes_by_row[row]
-                policy = runtime.policy
-                if policy.stationary and not policy.needs_full_feedback:
-                    chosen = runtime.previous_choice
-                    choice_cols[pos] = network_col[chosen]
-                    choices2d[row, idx_lo:idx_hi] = chosen
-                    if recorder.probabilities is not None:
+                runtime.policy.update_available_networks(visible)
+                runtime.visible = visible
+                cat = category[row]
+                if cat == _KERNEL:
+                    attach_kernel_row(row, pending)
+                elif cat == _FROZEN:
+                    frozen_dirty.add(row)
+                    frozen_probs.pop(row, None)
+
+            for row in events.joins:
+                active[row] = True
+                cat = category[row]
+                if cat == _KERNEL:
+                    attach_kernel_row(row, pending)
+                elif cat == _FALLBACK:
+                    fallback_rows.add(row)
+                else:
+                    frozen_dirty.add(row)
+
+            for group, entries in pending.items():
+                fresh = group[0](entries, recorder)
+                kernel = kernels_by_key.get(group)
+                if kernel is None:
+                    fresh._executor_key = group
+                    kernels_by_key[group] = kernel = fresh
+                else:
+                    kernel.absorb(fresh)
+                for entry in entries:
+                    kernel_of[entry[0]] = kernel
+
+        boundaries = list(plan.event_slots)
+        boundaries.append(num_slots + 1)
+
+        for seg in range(len(boundaries) - 1):
+            seg_start = boundaries[seg]
+            seg_end = boundaries[seg + 1]  # epoch covers slots [seg_start, seg_end)
+            events = plan.events.get(seg_start)
+            if events is not None:
+                apply_events(events)
+
+            act_rows = np.nonzero(active)[0]
+            if act_rows.size == 0:
+                continue
+            all_active = act_rows.size == num_devices
+            idx_lo, idx_hi = seg_start - 1, seg_end - 1  # 0-based column range
+
+            # ---- frozen rows: refresh edited ones, broadcast the epoch span
+            frozen_act = act_rows[category[act_rows] == _FROZEN]
+            for row in frozen_act:
+                row = int(row)
+                if row in frozen_dirty:
+                    policy = policies_by_row[row]
+                    choice_col[row] = network_col[policy.begin_slot(seg_start)]
+                    frozen_dirty.discard(row)
+                    if prob_block is not None:
                         cols = []
                         vals = []
-                        for network_id, probability in policy.probabilities.items():
+                        for network_id, p in policy.probabilities.items():
                             col = network_col.get(network_id)
                             if col is not None:
                                 cols.append(col)
-                                vals.append(probability)
-                        # Mixed slice + fancy indexing puts the network axis
-                        # first, so broadcast the values along the slot axis.
-                        recorder.probabilities[row, idx_lo:idx_hi, cols] = np.asarray(
-                            vals
-                        )[:, None]
-                else:
-                    live.append((pos, row, runtime, policy))
+                                vals.append(p)
+                        frozen_probs[row] = (cols, np.asarray(vals, dtype=float))
+                choices2d[row, idx_lo:idx_hi] = net_ids[choice_col[row]]
+                if prob_block is not None:
+                    cols, vals = frozen_probs[row]
+                    # Mixed slice + fancy indexing puts the network axis
+                    # first, so broadcast the values along the slot axis.
+                    prob_block[row, idx_lo:idx_hi, cols] = vals[:, None]
 
-            num_live = len(live)
-            need_feedback = any_full_feedback and any(
-                policy.needs_full_feedback for _, _, _, policy in live
+            live_rows = act_rows[category[act_rows] != _FROZEN]
+            all_live = live_rows.size == act_rows.size
+            epoch_kernels = []
+            kernel_pos = {}
+            seen = set()
+            for row in live_rows:
+                kernel = kernel_of.get(int(row))
+                if kernel is not None and id(kernel) not in seen:
+                    seen.add(id(kernel))
+                    epoch_kernels.append(kernel)
+                    positions = np.searchsorted(act_rows, kernel.rows)
+                    # Identity mapping (one kernel covering every active row,
+                    # the static common case): hand the gains array over as is.
+                    kernel_pos[id(kernel)] = (
+                        None
+                        if positions.size == act_rows.size
+                        and np.array_equal(positions, np.arange(positions.size))
+                        else positions
+                    )
+            fallback = [
+                (
+                    row,
+                    runtimes_by_row[row],
+                    policies_by_row[row],
+                    int(np.searchsorted(act_rows, row)),
+                )
+                for row in sorted(fallback_rows)
+            ]
+            need_feedback = any_full_feedback and (
+                any(k.needs_full_feedback for k in epoch_kernels)
+                or any(entry[2].needs_full_feedback for entry in fallback)
             )
 
-            if num_live == 0 and fast_physics:
+            if live_rows.size == 0 and fast_physics:
                 # Every active device is frozen: the allocation — hence every
-                # equal-share rate — is constant across the whole segment.
-                counts = np.bincount(choice_cols, minlength=num_networks)
-                rates_act = (bandwidths / np.maximum(counts, 1))[choice_cols]
+                # equal-share rate — is constant across the whole epoch; only
+                # the first slot can carry switches (from topology edits).
+                act_cols = choice_col[act_rows]
+                counts = np.bincount(act_cols, minlength=num_networks)
+                rates_act = (bandwidths / np.maximum(counts, 1))[act_cols]
                 if all_active:
                     rates2d[:, idx_lo:idx_hi] = rates_act[:, None]
                 else:
-                    rates2d[np.ix_(act_rows, seg_cols)] = rates_act[:, None]
+                    rates2d[
+                        np.ix_(act_rows, np.arange(idx_lo, idx_hi))
+                    ] = rates_act[:, None]
+                prev = prev_col[act_rows]
+                switched = (prev != -1) & (prev != act_cols)
+                if switched.any():
+                    switcher_rows = act_rows[switched]
+                    delays = environment.switching_delays(
+                        [int(net_ids[choice_col[r]]) for r in switcher_rows]
+                    )
+                    delays2d[switcher_rows, idx_lo] = delays
+                    switches2d[switcher_rows, idx_lo] = True
+                prev_col[act_rows] = act_cols
                 continue
 
-            # Partition the live devices into kernel groups (same kernel
-            # class + batching key) and the per-device scalar fallback.
-            kernels: list = []
-            fallback: list[tuple[int, tuple]] = []
-            if self.use_kernels and num_live:
-                grouped: dict = {}
-                for live_idx, entry in enumerate(live):
-                    policy = entry[3]
-                    kernel_cls = kernel_for_policy(policy)
-                    key = (
-                        kernel_cls.group_key(policy)
-                        if kernel_cls is not None
-                        else None
-                    )
-                    if key is None:
-                        fallback.append((live_idx, entry))
-                    else:
-                        grouped.setdefault((kernel_cls, key), []).append(entry)
-                kernels = [
-                    kernel_cls(entries, recorder)
-                    for (kernel_cls, _), entries in grouped.items()
-                ]
-            else:
-                fallback = list(enumerate(live))
-
-            live_positions = np.asarray([e[0] for e in live], dtype=np.intp)
-            live_rows = np.asarray([e[1] for e in live], dtype=np.intp)
-            # Previous choices of the live devices (every active device made
-            # a selection in the segment's reference slot).
-            prev_cols = np.asarray(
-                [network_col[e[2].previous_choice] for e in live], dtype=np.intp
-            )
-            live_delays = np.zeros(num_live, dtype=float)
-
-            for slot in range(seg_start + 1, seg_end):
+            # ---- per-slot loop
+            prev_live: np.ndarray | None = None
+            for slot in range(seg_start, seg_end):
                 slot_index = slot - 1
+                first = slot == seg_start
 
                 # Phase 1: selection (kernels batched, fallback per device).
-                for kernel in kernels:
-                    choice_cols[kernel.positions] = kernel.begin_slot(slot)
-                for _, (pos, _, _, policy) in fallback:
-                    choice_cols[pos] = network_col[policy.begin_slot(slot)]
-                cur_cols = choice_cols[live_positions]
-                live_nets = net_ids[cur_cols]
+                for kernel in epoch_kernels:
+                    choice_col[kernel.rows] = kernel.begin_slot(slot)
+                for row, _runtime, policy, _pos in fallback:
+                    choice_col[row] = network_col[policy.begin_slot(slot)]
+                act_cols = choice_col[act_rows]
+                cur_live = act_cols if all_live else choice_col[live_rows]
 
                 # Phase 2: realised rates.
                 counts_dict = None
                 if fast_physics:
-                    counts = np.bincount(choice_cols, minlength=num_networks)
-                    rates_act = (bandwidths / np.maximum(counts, 1))[choice_cols]
+                    counts = np.bincount(act_cols, minlength=num_networks)
+                    rates_act = (bandwidths / np.maximum(counts, 1))[act_cols]
                 else:
                     slot_choices = {
-                        device_ids[row]: int(net_ids[choice_cols[pos]])
-                        for pos, row in enumerate(act_rows_list)
+                        device_ids[row]: int(net_ids[choice_col[row]])
+                        for row in act_rows
                     }
                     groups = environment.client_groups(slot_choices)
                     if any_full_feedback:
@@ -266,19 +358,20 @@ class VectorizedSlotExecutor(SlotExecutor):
                         slot_choices, slot, groups
                     )
                     rates_act = np.asarray(
-                        [realised[device_ids[row]] for row in act_rows_list],
+                        [realised[device_ids[row]] for row in act_rows],
                         dtype=float,
                     )
                 if all_active:
                     rates2d[:, slot_index] = rates_act
                 else:
                     rates2d[act_rows, slot_index] = rates_act
-                choices2d[live_rows, slot_index] = live_nets
+                if live_rows.size:
+                    choices2d[live_rows, slot_index] = net_ids[cur_live]
 
-                # Phase 3: feedback and recording (frozen rows cannot switch
-                # and their rows are pre-broadcast).
+                # Phase 3: feedback and recording.
                 gains_act = np.minimum(rates_act / scale_ref, 1.0)
                 feedback = None
+                member_gain = join_gain = None
                 if need_feedback:
                     if fast_physics:
                         member_gain = np.minimum(
@@ -306,31 +399,47 @@ class VectorizedSlotExecutor(SlotExecutor):
                         )
 
                 # Switching delays consume the environment RNG per switching
-                # device in ascending device order — shared across kernels and
-                # fallback, exactly as the reference backend draws them.
-                switched_live = cur_cols != prev_cols
-                if switched_live.any():
-                    switcher_idx = np.nonzero(switched_live)[0]
+                # device in ascending device order, exactly as the reference
+                # backend draws them.  Frozen rows can only switch on the
+                # first slot of an epoch (after a topology edit), so later
+                # slots compare live rows against the loop-local previous
+                # columns (every live row selected at the boundary slot, so
+                # the "never chose yet" sentinel check is boundary-only).
+                if first:
+                    check_rows = act_rows
+                    cur = act_cols
+                    prev_act = prev_col[act_rows]
+                    switched = (prev_act != -1) & (prev_act != cur)
+                    prev_col[act_rows] = act_cols
+                else:
+                    check_rows = live_rows
+                    cur = cur_live
+                    switched = prev_live != cur
+                if switched.any():
+                    switcher_rows = check_rows[switched]
                     delays = environment.switching_delays(
-                        [int(live_nets[i]) for i in switcher_idx]
+                        net_ids[cur[switched]].tolist()
                     )
-                    switcher_rows = live_rows[switcher_idx]
                     delays2d[switcher_rows, slot_index] = delays
                     switches2d[switcher_rows, slot_index] = True
-                    live_delays[switcher_idx] = delays
+                prev_live = cur_live
 
-                for kernel in kernels:
+                for kernel in epoch_kernels:
+                    positions = kernel_pos[id(kernel)]
                     kernel.end_slot(
-                        slot, slot_index, gains_act[kernel.positions], feedback
+                        slot,
+                        slot_index,
+                        gains_act if positions is None else gains_act[positions],
+                        feedback,
                     )
-                for live_idx, (pos, row, runtime, policy) in fallback:
-                    network_id = int(live_nets[live_idx])
-                    switched = bool(switched_live[live_idx])
+                for row, runtime, policy, pos in fallback:
+                    network_id = int(net_ids[choice_col[row]])
+                    switched_here = bool(switches2d[row, slot_index])
                     full_feedback = None
                     if any_full_feedback and policy.needs_full_feedback:
                         visible = runtime.visible or frozenset()
                         if fast_physics:
-                            chosen_col = choice_cols[pos]
+                            chosen_col = choice_col[row]
                             full_feedback = {
                                 k: float(member_gain[network_col[k]])
                                 if network_col[k] == chosen_col
@@ -348,25 +457,27 @@ class VectorizedSlotExecutor(SlotExecutor):
                             network_id=network_id,
                             bit_rate_mbps=float(rates_act[pos]),
                             gain=float(gains_act[pos]),
-                            switched=switched,
-                            delay_s=float(live_delays[live_idx]) if switched else 0.0,
+                            switched=switched_here,
+                            delay_s=float(delays2d[row, slot_index])
+                            if switched_here
+                            else 0.0,
                             full_feedback=full_feedback,
                         ),
                     )
                     runtime.previous_choice = network_id
                     recorder.record_probabilities(row, slot_index, policy)
 
-                prev_cols = cur_cols
+            # Re-sync the loop-local previous columns so the next boundary's
+            # switch detection (and the final flush) see the epoch's outcome.
+            if live_rows.size and prev_live is not None:
+                prev_col[live_rows] = prev_live
 
-            # Segment boundary: scatter the kernels' state back into the
-            # scalar policies so reference slots (and the final result
-            # assembly) observe exactly the scalar-path state.
-            for kernel in kernels:
-                kernel.flush()
-                final_nets = net_ids[prev_cols[
-                    np.searchsorted(live_positions, kernel.positions)
-                ]]
-                for runtime, network_id in zip(kernel.runtimes, final_nets):
-                    runtime.previous_choice = int(network_id)
+        # End of run: scatter every surviving kernel group back into the
+        # scalar policies so the final result assembly (reset counts) and any
+        # post-run inspection observe exactly the scalar-path state.
+        for kernel in kernels_by_key.values():
+            kernel.flush()
+            for runtime, local_row in zip(kernel.runtimes, kernel.rows):
+                runtime.previous_choice = int(net_ids[prev_col[local_row]])
 
         return state.finish()

@@ -1,8 +1,9 @@
-"""Declarative simulation scenarios, including the paper's settings 1–3.
+"""Declarative simulation scenarios: the paper's settings 1–3 and a
+generative dynamic-scenario layer.
 
 A :class:`Scenario` fully describes an evaluation setting: networks, devices
 (with their policies, presence windows and mobility), the coverage map, gain and
-delay models, and the horizon.  The factory functions at the bottom of this
+delay models, and the horizon.  The factory functions in the middle of this
 module build the exact configurations used in Section VI of the paper:
 
 * :func:`setting1_scenario` — 20 devices, 3 networks of 4 / 7 / 22 Mbps.
@@ -11,18 +12,35 @@ module build the exact configurations used in Section VI of the paper:
 * :func:`dynamic_leave_scenario` — 16 devices leave after t=600.
 * :func:`mobility_scenario` — 5 networks, 3 service areas, 8 devices moving.
 * :func:`mixed_policy_scenario` — robustness settings mixing Smart EXP3 and Greedy.
+
+Beyond those hand-built settings, the generative layer at the bottom samples
+whole scenario families from compact models (all from a *construction* seed,
+independent of the run seeds, so a generated scenario is a fixed object that
+every backend executes bit-identically):
+
+* :class:`PoissonChurn` — Poisson arrivals with exponential lifetimes.
+* :class:`TraceChurn` — explicit (join, leave) presence windows, e.g. from a
+  measured trace; :func:`per_slot_churn_windows` builds the worst-case tiling
+  where *every* slot carries a join or a departure.
+* :func:`churn_scenario` — combines a churn model with optional
+  random-waypoint mobility (:func:`repro.sim.mobility.random_waypoint_schedule`)
+  and network dynamics (:class:`repro.sim.mobility.NetworkDynamics`: outage
+  windows and capacity flapping) into one scenario.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.game.device import Device, DeviceGroup
-from repro.game.gain import EqualShareModel, GainModel
+from repro.game.gain import EqualShareModel, GainModel, TimeVaryingCapacityModel
 from repro.game.network import Network, NetworkType, make_networks
 from repro.sim.delay import DelayModel, EmpiricalDelayModel
-from repro.sim.mobility import CoverageMap
+from repro.sim.mobility import CoverageMap, NetworkDynamics, random_waypoint_schedule
 
 #: Slot duration used throughout the paper (Section V).
 DEFAULT_SLOT_DURATION_S = 15.0
@@ -79,6 +97,37 @@ class Scenario:
         device_ids = [spec.device.device_id for spec in self.device_specs]
         if len(set(device_ids)) != len(device_ids):
             raise ValueError("device ids must be unique")
+        area_names = set(self.coverage.areas)
+        for spec in self.device_specs:
+            device = spec.device
+            if device.join_slot > self.horizon_slots:
+                raise ValueError(
+                    f"device {device.device_id} joins at slot "
+                    f"{device.join_slot}, after the horizon "
+                    f"({self.horizon_slots})"
+                )
+            if (
+                device.leave_slot is not None
+                and device.leave_slot < device.join_slot
+            ):
+                # Device.__post_init__ enforces this too; guard here as well
+                # so Device subclasses cannot smuggle an inverted window in.
+                raise ValueError(
+                    f"device {device.device_id} leaves at slot "
+                    f"{device.leave_slot}, before joining at "
+                    f"{device.join_slot}"
+                )
+            unknown = {
+                area
+                for area in device.area_schedule.values()
+                if area not in area_names
+            }
+            if unknown:
+                raise ValueError(
+                    f"device {device.device_id} area_schedule references "
+                    f"unknown service areas: {sorted(unknown)}"
+                )
+        self.coverage.validate_outages(self.horizon_slots)
 
     @property
     def network_map(self) -> dict[int, Network]:
@@ -109,6 +158,12 @@ class Scenario:
         return replace(self, device_specs=new_specs, name=f"{self.name}[{policy}]")
 
     def with_horizon(self, horizon_slots: int) -> "Scenario":
+        """Copy with a new horizon.
+
+        The copy re-runs the full validation, so shrinking the horizon below
+        some device's ``join_slot`` (its presence window would fall entirely
+        outside the run) is rejected rather than silently dropping the device.
+        """
         return replace(self, horizon_slots=horizon_slots)
 
 
@@ -353,4 +408,253 @@ def mixed_policy_scenario(
         coverage=coverage,
         horizon_slots=horizon_slots,
         device_groups=groups,
+    )
+
+
+# --------------------------------------------------------------------------
+# Generative dynamic-scenario layer
+
+
+class ChurnModel(ABC):
+    """Samples per-device presence windows (the churn side of a scenario)."""
+
+    @abstractmethod
+    def presence_windows(
+        self, num_devices: int, horizon_slots: int, rng: np.random.Generator
+    ) -> list[tuple[int, int | None]]:
+        """One ``(join_slot, leave_slot)`` pair per device.
+
+        ``leave_slot`` of ``None`` means the device stays until the end of
+        the horizon.  Every returned ``join_slot`` must lie within the
+        horizon (:class:`Scenario` validation enforces it).
+        """
+
+
+@dataclass(frozen=True)
+class PoissonChurn(ChurnModel):
+    """Poisson arrival process with exponential lifetimes.
+
+    ``initial_fraction`` of the population is present from slot 1; the rest
+    arrive with exponential inter-arrival times of mean
+    ``1 / arrival_rate_per_slot``.  Every device stays for an exponential
+    lifetime of mean ``mean_lifetime_slots`` (floored at one slot).  If the
+    arrival process outruns the horizon before the requested population has
+    arrived, the remaining devices are placed uniformly at random within the
+    horizon so the population size always matches the request.
+    """
+
+    arrival_rate_per_slot: float = 0.2
+    mean_lifetime_slots: float = 200.0
+    initial_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_slot <= 0:
+            raise ValueError("arrival_rate_per_slot must be positive")
+        if self.mean_lifetime_slots <= 0:
+            raise ValueError("mean_lifetime_slots must be positive")
+        if not 0.0 <= self.initial_fraction <= 1.0:
+            raise ValueError("initial_fraction must be in [0, 1]")
+
+    def presence_windows(
+        self, num_devices: int, horizon_slots: int, rng: np.random.Generator
+    ) -> list[tuple[int, int | None]]:
+        initial = int(round(self.initial_fraction * num_devices))
+        windows: list[tuple[int, int | None]] = []
+        arrival = 1.0
+        for index in range(num_devices):
+            if index < initial:
+                join = 1
+            else:
+                arrival += float(rng.exponential(1.0 / self.arrival_rate_per_slot))
+                join = int(np.ceil(arrival))
+                if join > horizon_slots:
+                    join = int(rng.integers(1, horizon_slots + 1))
+            lifetime = max(
+                1, int(round(float(rng.exponential(self.mean_lifetime_slots))))
+            )
+            leave = join + lifetime - 1
+            windows.append((join, None if leave >= horizon_slots else leave))
+        return windows
+
+
+@dataclass(frozen=True)
+class TraceChurn(ChurnModel):
+    """Trace-driven churn: explicit presence windows, cycled over the devices."""
+
+    windows: tuple[tuple[int, int | None], ...]
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise ValueError("TraceChurn requires at least one window")
+        for join, leave in self.windows:
+            if join < 1:
+                raise ValueError(f"join slots are 1-based, got {join}")
+            if leave is not None and leave < join:
+                raise ValueError(
+                    f"window ({join}, {leave}) ends before it starts"
+                )
+
+    def presence_windows(
+        self, num_devices: int, horizon_slots: int, rng: np.random.Generator
+    ) -> list[tuple[int, int | None]]:
+        return [
+            self.windows[index % len(self.windows)]
+            for index in range(num_devices)
+        ]
+
+
+def per_slot_churn_windows(
+    num_devices: int,
+) -> tuple[list[tuple[int, int | None]], int]:
+    """Presence windows where every slot carries a join or a departure.
+
+    Half the population is persistent; the transient half joins one device
+    per slot and later departs one device per slot, tiling the whole natural
+    horizon (returned alongside the windows) with exactly one topology event
+    per slot after the first.  This is the worst-case workload for any
+    executor that special-cases topology changes.
+    """
+    if num_devices < 2:
+        raise ValueError("per-slot churn needs at least 2 devices")
+    transient = num_devices // 2
+    horizon = 2 * transient + 1
+    windows: list[tuple[int, int | None]] = [
+        (1, None) for _ in range(num_devices - transient)
+    ]
+    windows.extend((2 + i, transient + 1 + i) for i in range(transient))
+    return windows, horizon
+
+
+def churn_scenario(
+    num_devices: int = 100,
+    policy: str = "smart_exp3",
+    bandwidths: Sequence[float] = (4.0, 7.0, 22.0),
+    horizon_slots: int = DEFAULT_HORIZON_SLOTS,
+    churn: ChurnModel | None = None,
+    areas: Mapping[str, Sequence[int]] | None = None,
+    mobility_fraction: float = 0.0,
+    mean_dwell_slots: float = 80.0,
+    dynamics: NetworkDynamics | None = None,
+    seed: int = 0,
+    policy_kwargs: Mapping | None = None,
+    name: str | None = None,
+) -> Scenario:
+    """Generate a dynamic scenario from churn/mobility/network-dynamics models.
+
+    All sampling (arrivals, lifetimes, waypoint walks, outage and capacity
+    flapping) draws from one construction generator seeded with ``seed`` —
+    independent of the run seeds, so the generated scenario is a fixed,
+    picklable object and repeated calls with equal arguments are identical.
+
+    Parameters
+    ----------
+    churn:
+        A :class:`ChurnModel`; ``None`` keeps every device present for the
+        whole horizon.
+    areas:
+        Optional area-name -> network-ids coverage (the first key is the
+        default area); ``None`` uses a single area covering every network.
+    mobility_fraction:
+        Fraction of devices performing a random-waypoint walk over the areas
+        (requires at least two areas to have any effect).
+    dynamics:
+        Optional :class:`repro.sim.mobility.NetworkDynamics`; its compiled
+        outage windows are installed on the coverage map and its capacity
+        schedule (if any) wraps the gain model in a
+        :class:`repro.game.gain.TimeVaryingCapacityModel`.
+    """
+    if not 0.0 <= mobility_fraction <= 1.0:
+        raise ValueError("mobility_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    networks = make_networks(list(bandwidths))
+    if areas is None:
+        coverage = CoverageMap.single_area([n.network_id for n in networks])
+    else:
+        coverage = CoverageMap.from_area_networks(
+            areas, default_area=next(iter(areas))
+        )
+    gain_model: GainModel = EqualShareModel()
+    if dynamics is not None:
+        outages = dynamics.compile_outages(horizon_slots, rng)
+        if outages:
+            coverage = coverage.with_outages(outages)
+        if dynamics.has_capacity_flapping:
+            gain_model = TimeVaryingCapacityModel(
+                gain_model,
+                dynamics.compile_capacity_schedule(horizon_slots, rng),
+            )
+    if churn is None:
+        windows: list[tuple[int, int | None]] = [
+            (1, None) for _ in range(num_devices)
+        ]
+    else:
+        windows = churn.presence_windows(num_devices, horizon_slots, rng)
+    num_mobile = (
+        int(round(mobility_fraction * num_devices))
+        if len(coverage.areas) > 1
+        else 0
+    )
+    area_names = tuple(coverage.areas)
+    devices: list[Device] = []
+    for device_id, (join, leave) in enumerate(windows):
+        schedule: dict[int, str] = {}
+        if device_id < num_mobile:
+            schedule = random_waypoint_schedule(
+                area_names, horizon_slots, rng, mean_dwell_slots
+            )
+        devices.append(
+            Device(
+                device_id=device_id,
+                join_slot=join,
+                leave_slot=leave,
+                area_schedule=schedule,
+            )
+        )
+    persistent = tuple(
+        d.device_id
+        for d in devices
+        if d.join_slot == 1 and d.leave_slot is None
+    )
+    transient = tuple(
+        d.device_id
+        for d in devices
+        if d.join_slot != 1 or d.leave_slot is not None
+    )
+    groups = []
+    if persistent:
+        groups.append(DeviceGroup(name="persistent", device_ids=persistent))
+    if transient:
+        groups.append(DeviceGroup(name="transient", device_ids=transient))
+    return Scenario(
+        name=name or f"churn_d{num_devices}_s{seed}",
+        networks=networks,
+        device_specs=_uniform_specs(devices, policy, policy_kwargs),
+        coverage=coverage,
+        gain_model=gain_model,
+        horizon_slots=horizon_slots,
+        device_groups=groups,
+    )
+
+
+def per_slot_churn_scenario(
+    num_devices: int = 100,
+    policy: str = "exp3",
+    bandwidths: Sequence[float] = (4.0, 7.0, 22.0),
+    policy_kwargs: Mapping | None = None,
+) -> Scenario:
+    """The churn stress setting: a join or departure on every slot.
+
+    The natural horizon follows from the population (see
+    :func:`per_slot_churn_windows`); this is the scenario behind the
+    ``--suite churn`` benchmark floor.
+    """
+    windows, horizon = per_slot_churn_windows(num_devices)
+    return churn_scenario(
+        num_devices=num_devices,
+        policy=policy,
+        bandwidths=bandwidths,
+        horizon_slots=horizon,
+        churn=TraceChurn(tuple(windows)),
+        policy_kwargs=policy_kwargs,
+        name=f"per_slot_churn_d{num_devices}",
     )

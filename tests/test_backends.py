@@ -23,14 +23,18 @@ from repro.sim.backends import (
     get_backend,
     register_backend,
 )
-from repro.sim.mobility import CoverageMap
+from repro.sim.mobility import CoverageMap, NetworkDynamics
 from repro.sim.runner import run_many, run_policies, run_simulation
 from repro.sim.scenario import (
     DeviceSpec,
+    PoissonChurn,
     Scenario,
+    TraceChurn,
+    churn_scenario,
     dynamic_join_leave_scenario,
     mixed_policy_scenario,
     mobility_scenario,
+    per_slot_churn_scenario,
     setting1_scenario,
     setting2_scenario,
 )
@@ -186,6 +190,114 @@ class TestDynamicEquivalence:
         )
         event, vectorized = run_both(scenario, 1)
         assert_results_identical(event, vectorized)
+
+
+def random_churn_scenario(case: int) -> Scenario:
+    """One seeded random dynamic scenario: churn + mobility + outages.
+
+    The generator varies the churn model, the policy mix (kernel, frozen and
+    fallback rows), the coverage layout, the mobile fraction and the network
+    dynamics, so the cases collectively sweep every topology-edit path of the
+    vectorized executor.
+    """
+    rng = np.random.default_rng(10_000 + case)
+    horizon = int(rng.integers(60, 180))
+    num_devices = int(rng.integers(4, 12))
+    if rng.random() < 0.5:
+        churn = PoissonChurn(
+            arrival_rate_per_slot=float(rng.uniform(0.05, 0.8)),
+            mean_lifetime_slots=float(rng.uniform(10.0, horizon)),
+            initial_fraction=float(rng.uniform(0.0, 1.0)),
+        )
+    else:
+        windows = []
+        for _ in range(num_devices):
+            join = int(rng.integers(1, horizon + 1))
+            if rng.random() < 0.3:
+                leave = None
+            else:
+                leave = min(join + int(rng.integers(1, horizon)), horizon + 50)
+            windows.append((join, leave))
+        churn = TraceChurn(tuple(windows))
+    areas = (
+        {"a": (0, 1, 2), "b": (1, 2), "c": (0, 2)}
+        if rng.random() < 0.6
+        else None
+    )
+    dynamics = (
+        NetworkDynamics(
+            flapping_networks=(int(rng.integers(0, 2)),),
+            mean_up_slots=float(rng.uniform(10.0, 60.0)),
+            mean_outage_slots=float(rng.uniform(2.0, 12.0)),
+        )
+        if rng.random() < 0.5
+        else None
+    )
+    scenario = churn_scenario(
+        num_devices=num_devices,
+        policy="smart_exp3",
+        horizon_slots=horizon,
+        churn=churn,
+        areas=areas,
+        mobility_fraction=float(rng.uniform(0.0, 1.0)) if areas else 0.0,
+        dynamics=dynamics,
+        seed=case,
+    )
+    # Randomise the policy mix so kernel groups, frozen rows and the scalar
+    # fallback all churn together.
+    policy_pool = ("smart_exp3", "exp3", "greedy", "fixed_random", "full_information")
+    for spec in scenario.device_specs:
+        spec.policy = policy_pool[int(rng.integers(len(policy_pool)))]
+    return scenario
+
+
+class TestRandomizedChurnEquivalence:
+    """Seeded random join/leave/mobility scenarios must stay bit-exact."""
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_random_churn_bit_exact(self, case):
+        scenario = random_churn_scenario(case)
+        event, vectorized = run_both(scenario, seed=case)
+        assert_results_identical(event, vectorized)
+
+    @pytest.mark.parametrize("case", (0, 3))
+    def test_random_churn_without_probabilities(self, case):
+        scenario = random_churn_scenario(case)
+        event = run_simulation(
+            scenario, seed=case, backend="event", record_probabilities=False
+        )
+        vectorized = run_simulation(
+            scenario, seed=case, backend="vectorized", record_probabilities=False
+        )
+        assert event.probabilities_3d is None
+        assert vectorized.probabilities_3d is None
+        for block in ("choices_2d", "rates_2d", "delays_2d", "switches_2d", "active_2d"):
+            assert np.array_equal(
+                getattr(event, block), getattr(vectorized, block)
+            ), block
+        assert event.resets == vectorized.resets
+        # Dropping the tensor must not change the dynamics.
+        full = run_simulation(scenario, seed=case, backend="vectorized")
+        assert np.array_equal(full.choices_2d, vectorized.choices_2d)
+
+    def test_per_slot_churn_stress_bit_exact(self):
+        # The benchmark's worst case: a topology event on every slot.
+        for policy in ("exp3", "smart_exp3"):
+            scenario = per_slot_churn_scenario(num_devices=12, policy=policy)
+            event, vectorized = run_both(scenario, seed=1)
+            assert_results_identical(event, vectorized)
+            # The churn really is per-slot: every slot after the first
+            # changes the active population.
+            active = event.active_2d.sum(axis=0)
+            assert np.count_nonzero(np.diff(active)) >= scenario.horizon_slots - 2
+
+    def test_kernel_groups_survive_churn(self):
+        # nokernel (scalar fallback) and kernel paths must agree under churn,
+        # isolating the membership-edit layer from the physics.
+        scenario = random_churn_scenario(5)
+        scalar = run_simulation(scenario, seed=2, backend="vectorized-nokernel")
+        kernel = run_simulation(scenario, seed=2, backend="vectorized")
+        assert_results_identical(scalar, kernel)
 
 
 class TestRunMany:

@@ -42,6 +42,8 @@ from repro.game.nash import distance_to_nash
 from repro.sim.metrics import NO_NETWORK, DeviceAxisView, SimulationResult
 from repro.sim.runner import run_many, run_simulation
 from repro.sim.scenario import (
+    PoissonChurn,
+    churn_scenario,
     dynamic_join_leave_scenario,
     mixed_policy_scenario,
     setting1_scenario,
@@ -106,7 +108,9 @@ class TestColumnarLayout:
 
     def test_cross_backend_equivalence_via_views(self):
         # Dynamic scenario: rows with inactive stretches and NO_NETWORK.
-        scenario = dynamic_join_leave_scenario(policy="exp3", horizon_slots=120)
+        # The horizon must contain the join edge at t=401 — scenario
+        # validation rejects presence windows outside the horizon.
+        scenario = dynamic_join_leave_scenario(policy="exp3", horizon_slots=450)
         event, vectorized = run_both(scenario, 4)
         assert_results_identical(event, vectorized)
         assert np.array_equal(event.choices_2d, vectorized.choices_2d)
@@ -264,7 +268,18 @@ def _analysis_fixture_runs():
         setting1_scenario(policy="exp3", num_devices=8, horizon_slots=150), seed=0
     )
     dynamic = run_simulation(
-        dynamic_join_leave_scenario(policy="smart_exp3", horizon_slots=150), seed=2
+        churn_scenario(
+            num_devices=10,
+            policy="smart_exp3",
+            horizon_slots=150,
+            churn=PoissonChurn(
+                arrival_rate_per_slot=0.2,
+                mean_lifetime_slots=80.0,
+                initial_fraction=0.4,
+            ),
+            seed=11,
+        ),
+        seed=2,
     )
     mixed = run_simulation(
         mixed_policy_scenario({"smart_exp3": 3, "greedy": 2}, horizon_slots=120),

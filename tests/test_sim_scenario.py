@@ -161,3 +161,183 @@ class TestScenarioValidation:
                 device_specs=[],
                 coverage=CoverageMap.single_area([0, 1, 2]),
             )
+
+
+class TestPresenceAndAreaValidation:
+    """PR-4 satellite: presence windows and area schedules are validated."""
+
+    def _base(self):
+        from repro.game.device import Device
+        from repro.game.network import make_networks
+        from repro.sim.mobility import CoverageMap
+
+        networks = make_networks([4.0, 7.0, 22.0])
+        coverage = CoverageMap.single_area([n.network_id for n in networks])
+        return networks, coverage, Device
+
+    def test_join_after_horizon_rejected(self):
+        networks, coverage, Device = self._base()
+        with pytest.raises(ValueError, match="after the horizon"):
+            Scenario(
+                name="bad",
+                networks=networks,
+                device_specs=[
+                    DeviceSpec(device=Device(device_id=0, join_slot=500), policy="greedy")
+                ],
+                coverage=coverage,
+                horizon_slots=100,
+            )
+
+    def test_with_horizon_revalidates_presence_windows(self):
+        scenario = dynamic_join_leave_scenario(policy="greedy")
+        assert scenario.with_horizon(500).horizon_slots == 500
+        with pytest.raises(ValueError, match="after the horizon"):
+            scenario.with_horizon(150)  # join at t=401 falls outside
+
+    def test_unknown_area_in_schedule_rejected(self):
+        networks, coverage, Device = self._base()
+        with pytest.raises(ValueError, match="unknown service areas"):
+            Scenario(
+                name="bad",
+                networks=networks,
+                device_specs=[
+                    DeviceSpec(
+                        device=Device(device_id=0, area_schedule={1: "atlantis"}),
+                        policy="greedy",
+                    )
+                ],
+                coverage=coverage,
+            )
+
+    def test_inverted_presence_window_rejected(self):
+        _, _, Device = self._base()
+        with pytest.raises(ValueError, match="leave_slot"):
+            Device(device_id=0, join_slot=10, leave_slot=5)
+
+    def test_outage_emptying_an_area_rejected(self):
+        from repro.game.device import Device
+        from repro.game.network import make_networks
+        from repro.sim.mobility import CoverageMap
+
+        networks = make_networks([4.0, 7.0])
+        coverage = CoverageMap.from_area_networks(
+            {"solo": (0,), "both": (0, 1)},
+            default_area="both",
+            outages={0: ((10, 20),)},
+        )
+        with pytest.raises(ValueError, match="no visible network"):
+            Scenario(
+                name="bad",
+                networks=networks,
+                device_specs=[DeviceSpec(device=Device(device_id=0), policy="greedy")],
+                coverage=coverage,
+                horizon_slots=50,
+            )
+
+
+class TestGenerativeChurnLayer:
+    def test_poisson_churn_windows_within_horizon(self):
+        import numpy as np
+
+        from repro.sim.scenario import PoissonChurn
+
+        churn = PoissonChurn(
+            arrival_rate_per_slot=0.1,
+            mean_lifetime_slots=50.0,
+            initial_fraction=0.25,
+        )
+        rng = np.random.default_rng(3)
+        windows = churn.presence_windows(40, 300, rng)
+        assert len(windows) == 40
+        assert sum(1 for join, _ in windows if join == 1) >= 10
+        for join, leave in windows:
+            assert 1 <= join <= 300
+            assert leave is None or join <= leave < 300
+
+    def test_poisson_churn_is_reproducible(self):
+        import numpy as np
+
+        from repro.sim.scenario import PoissonChurn
+
+        churn = PoissonChurn()
+        first = churn.presence_windows(20, 200, np.random.default_rng(9))
+        second = churn.presence_windows(20, 200, np.random.default_rng(9))
+        assert first == second
+
+    def test_trace_churn_cycles_and_validates(self):
+        import numpy as np
+
+        from repro.sim.scenario import TraceChurn
+
+        trace = TraceChurn(((1, 10), (5, None)))
+        windows = trace.presence_windows(5, 100, np.random.default_rng(0))
+        assert windows == [(1, 10), (5, None), (1, 10), (5, None), (1, 10)]
+        with pytest.raises(ValueError, match="ends before it starts"):
+            TraceChurn(((10, 5),))
+        with pytest.raises(ValueError, match="at least one window"):
+            TraceChurn(())
+
+    def test_per_slot_churn_tiles_every_slot(self):
+        from repro.sim.scenario import per_slot_churn_windows
+
+        windows, horizon = per_slot_churn_windows(10)
+        assert len(windows) == 10
+        events = set()
+        for join, leave in windows:
+            if join > 1:
+                events.add(join)
+            if leave is not None:
+                events.add(leave + 1)
+        assert events == set(range(2, horizon + 1))
+
+    def test_churn_scenario_composition(self):
+        from repro.game.gain import TimeVaryingCapacityModel
+        from repro.sim.mobility import NetworkDynamics
+        from repro.sim.scenario import PoissonChurn, churn_scenario
+
+        scenario = churn_scenario(
+            num_devices=12,
+            policy="exp3",
+            horizon_slots=200,
+            churn=PoissonChurn(arrival_rate_per_slot=0.3),
+            areas={"east": (0, 2), "west": (1, 2)},
+            mobility_fraction=0.5,
+            dynamics=NetworkDynamics(
+                flapping_networks=(0,),
+                mean_up_slots=50.0,
+                mean_outage_slots=5.0,
+                capacity_networks=(2,),
+                mean_capacity_dwell_slots=40.0,
+            ),
+            seed=4,
+        )
+        assert scenario.num_devices == 12
+        assert scenario.coverage.outages  # flapping compiled into outages
+        assert isinstance(scenario.gain_model, TimeVaryingCapacityModel)
+        mobile = [
+            spec.device
+            for spec in scenario.device_specs
+            if len(spec.device.area_schedule) > 1
+        ]
+        assert mobile  # some devices actually walk between areas
+        # Construction is deterministic in the seed.
+        again = churn_scenario(
+            num_devices=12,
+            policy="exp3",
+            horizon_slots=200,
+            churn=PoissonChurn(arrival_rate_per_slot=0.3),
+            areas={"east": (0, 2), "west": (1, 2)},
+            mobility_fraction=0.5,
+            dynamics=NetworkDynamics(
+                flapping_networks=(0,),
+                mean_up_slots=50.0,
+                mean_outage_slots=5.0,
+                capacity_networks=(2,),
+                mean_capacity_dwell_slots=40.0,
+            ),
+            seed=4,
+        )
+        assert [d.device.join_slot for d in scenario.device_specs] == [
+            d.device.join_slot for d in again.device_specs
+        ]
+        assert scenario.coverage.outages == again.coverage.outages
