@@ -36,6 +36,19 @@ Four suites, selected with ``--suite``:
     (default 5x); Smart EXP3 rides along as a documentation row.  Tracked as
     ``BENCH_churn_native.json``.
 
+``shard``
+    The sharded population engine at scale (default 100k devices): one
+    summary-reduced run on the ``sharded`` backend (shards = workers =
+    ``min(cpu_count, 8)``, float32 recorder, windowed in-shard reduction)
+    against the same run on the single-process vectorized backend.  Reports
+    devices/sec, device-slots/sec and the peak-RSS high-water of parent and
+    workers.  The speedup must clear ``--floor`` (default 3x) — applicable
+    only on machines with >= 4 cores (single-core hosts document the
+    lockstep overhead instead; CI enforces the floor on its 4-vCPU
+    runners).  ``--attach-megascale`` embeds a payload produced by
+    ``python -m repro.experiments.megascale --json ...`` so the tracked
+    ``BENCH_sharded_population.json`` also records the million-device run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py
@@ -49,6 +62,10 @@ Usage::
         --suite results --json BENCH_columnar_results.json
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
         --suite churn --json BENCH_churn_native.json
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
+        --suite shard --devices 100000 --slots 100 \
+        --attach-megascale megascale_1m.json \
+        --json BENCH_sharded_population.json
 """
 
 from __future__ import annotations
@@ -459,6 +476,165 @@ def run_churn_benchmark(
     }
 
 
+#: Shard-suite defaults: a megascale-style population, scaled to CI.
+SHARD_POLICY = "exp3"
+SHARD_NUM_DEVICES = 100_000
+SHARD_HORIZON_SLOTS = 100
+#: Acceptance floor for the sharded engine vs. the single-process
+#: vectorized backend at 100k devices (applicable on >= 4-core machines —
+#: the parallel path cannot beat the serial one on fewer cores).
+SHARD_SPEEDUP_FLOOR = 3.0
+SHARD_FLOOR_MIN_CPUS = 4
+
+
+def run_shard_benchmark(
+    policy: str = SHARD_POLICY,
+    num_devices: int = SHARD_NUM_DEVICES,
+    horizon: int = SHARD_HORIZON_SLOTS,
+    workers: int | None = None,
+    repeats: int = 1,
+    floor: float = SHARD_SPEEDUP_FLOOR,
+    megascale_payload: dict | None = None,
+) -> dict:
+    """Sharded population engine vs. single-process vectorized execution.
+
+    Both sides execute the same summary-reduced run of a uniform
+    ``num_devices``-device population (stream-free constant delays, the
+    megascale configuration): the vectorized backend as one process over
+    the full population, the sharded backend with one worker process per
+    shard and windowed in-shard reduction.  Timings are best-of
+    ``repeats``.  The sharded leg runs *first* so its parent/worker RSS
+    high-water marks describe the streaming path — ``ru_maxrss`` is
+    monotone over the process lifetime, so measuring it after the
+    vectorized leg (which materialises the full columnar record) would
+    only ever report the vectorized footprint.
+    """
+    from repro.analysis.reducers import SummaryReducer
+    from repro.sim.sharded import HomogeneousPopulation, ShardedSlotExecutor
+
+    cpus = os.cpu_count() or 1
+    if workers is None:
+        workers = max(1, min(cpus, 8))
+    population = HomogeneousPopulation(
+        num_devices=num_devices,
+        policy=policy,
+        horizon_slots=horizon,
+        name=f"shard_bench_d{num_devices}",
+    )
+    scenario = population.build_shard(0, num_devices)
+    reducer = SummaryReducer()
+    device_slots = num_devices * horizon
+
+    baseline_rss = _peak_rss_bytes()
+    executor = ShardedSlotExecutor(
+        shards=workers, workers=workers, dtype="float32"
+    )
+    sharded_seconds = _best_seconds(
+        lambda: executor.execute_population(population, 0, reducer), repeats
+    )
+    sharded_rss = _peak_rss_bytes()
+    try:
+        import resource
+
+        worker_peak = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * (
+            1 if sys.platform == "darwin" else 1024
+        )
+    except ImportError:
+        worker_peak = None
+
+    vectorized_seconds = _best_seconds(
+        lambda: reducer.map(
+            run_simulation(
+                scenario,
+                seed=0,
+                backend="vectorized",
+                record_probabilities=False,
+            )
+        ),
+        repeats,
+    )
+    vectorized_rss = _peak_rss_bytes()
+
+    speedup = vectorized_seconds / sharded_seconds
+    floor_applicable = cpus >= SHARD_FLOOR_MIN_CPUS and workers >= SHARD_FLOOR_MIN_CPUS
+    rows = [
+        {
+            "backend": f"sharded (shards={workers}, workers={workers}, float32)",
+            "mode": "in-shard windowed reduce=summary",
+            "seconds": sharded_seconds,
+            "devices_per_second": num_devices / sharded_seconds,
+            "device_slots_per_second": device_slots / sharded_seconds,
+            "parent_peak_rss_bytes": sharded_rss,
+            "worker_peak_rss_bytes": worker_peak,
+        },
+        {
+            "backend": "vectorized",
+            "mode": "single process, reduce=summary",
+            "seconds": vectorized_seconds,
+            "devices_per_second": num_devices / vectorized_seconds,
+            "device_slots_per_second": device_slots / vectorized_seconds,
+            # Monotone high-water after both legs; the vectorized full
+            # record dominates it, which is the comparison's point.
+            "parent_peak_rss_bytes": vectorized_rss,
+        },
+    ]
+    payload = {
+        "suite": "shard",
+        "scenario": (
+            f"uniform population ({num_devices} devices, {horizon} slots, "
+            f"{policy}, constant delays)"
+        ),
+        "cpu_count": cpus,
+        "baseline_rss_bytes": baseline_rss,
+        "rows": rows,
+        "headline": {
+            "sharded_speedup": speedup,
+            "floor": floor,
+            "floor_applicable": floor_applicable,
+            "meets_floor": speedup >= floor if floor_applicable else True,
+        },
+    }
+    if megascale_payload is not None:
+        payload["megascale"] = megascale_payload
+    return payload
+
+
+def format_shard_report(payload: dict) -> str:
+    lines = [f"Sharded population engine on {payload['scenario']}:"]
+    for row in payload["rows"]:
+        parts = [
+            f"  {row['backend']:<46} {row['seconds']:8.2f}s",
+            f"{row['devices_per_second']:>12,.0f} devices/s",
+            f"{row['device_slots_per_second']:>14,.0f} dev-slots/s",
+        ]
+        if row.get("worker_peak_rss_bytes"):
+            parts.append(
+                f"worker rss {row['worker_peak_rss_bytes'] / 1e6:8.0f} MB"
+            )
+        lines.append(" ".join(parts))
+    headline = payload["headline"]
+    floor_note = (
+        f"(floor {headline['floor']:.1f}x, "
+        f"{'met' if headline['meets_floor'] else 'NOT met'})"
+        if headline["floor_applicable"]
+        else f"(floor not applicable on {payload['cpu_count']} core(s))"
+    )
+    lines.append(
+        f"Headline: sharded {headline['sharded_speedup']:.2f}x vs "
+        f"vectorized {floor_note}"
+    )
+    if "megascale" in payload:
+        mega = payload["megascale"]
+        lines.append(
+            "Megascale run attached: "
+            f"{mega['population']['num_devices']:,} devices x "
+            f"{mega['population']['horizon_slots']:,} slots, "
+            f"{mega['perf']['device_slots_per_second']:,.0f} dev-slots/s, "
+            f"peak rss {mega['perf']['peak_rss_bytes'] / 1e9:.2f} GB"
+        )
+    return "\n".join(lines)
+
+
 def format_churn_report(payload: dict) -> str:
     lines = [f"Churn-native throughput on {payload['scenario']}:"]
     for row in payload["rows"]:
@@ -561,13 +737,14 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("backend", "kernels", "results", "churn"),
+        choices=("backend", "kernels", "results", "churn", "shard"),
         default="backend",
         help=(
             "backend: event vs vectorized; kernels: scalar vs batched kernels; "
             "results: columnar result path (streaming-reduction RSS + "
             "construction floors); churn: event vs vectorized on per-slot "
-            "topology churn"
+            "topology churn; shard: sharded population engine vs vectorized "
+            "at 100k devices"
         ),
     )
     parser.add_argument("--policies", nargs="+", default=None)
@@ -581,17 +758,23 @@ def main(argv=None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="backend suite: pool width (default: min(4, cpus))",
+        help=(
+            "backend suite: pool width (default: min(4, cpus)); shard "
+            "suite: shard/worker count (default: min(8, cpus))"
+        ),
     )
     parser.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
     parser.add_argument(
         "--devices",
         type=int,
         default=None,
-        help="kernels/results/churn suites: device count",
+        help="kernels/results/churn/shard suites: device count",
     )
     parser.add_argument(
-        "--slots", type=int, default=None, help="kernels/results suites: horizon in slots"
+        "--slots",
+        type=int,
+        default=None,
+        help="kernels/results/shard suites: horizon in slots",
     )
     parser.add_argument(
         "--floor",
@@ -600,7 +783,8 @@ def main(argv=None) -> int:
         help=(
             "kernels: minimum EXP3 speedup; results: minimum columnar "
             "construction speedup vs the dict scatter; churn: minimum EXP3 "
-            "vectorized-vs-event speedup on per-slot churn"
+            "vectorized-vs-event speedup on per-slot churn; shard: minimum "
+            "sharded-vs-vectorized speedup (>= 4-core machines)"
         ),
     )
     parser.add_argument(
@@ -609,11 +793,22 @@ def main(argv=None) -> int:
         default=None,
         help="results suite: allowed peak-RSS growth as a multiple of one run",
     )
+    parser.add_argument(
+        "--attach-megascale",
+        default=None,
+        metavar="PATH",
+        help=(
+            "shard suite: embed a payload previously written by "
+            "'python -m repro.experiments.megascale --json PATH'"
+        ),
+    )
     parser.add_argument("--json", default=None, help="also write the JSON payload here")
     args = parser.parse_args(argv)
 
     # Flags are suite-specific; reject cross-suite usage instead of silently
     # benchmarking a different configuration than the one asked for.
+    if args.suite != "shard" and args.attach_megascale is not None:
+        parser.error("--attach-megascale only applies to --suite shard")
     if args.suite == "kernels":
         for flag, value in (
             ("--runs", args.runs),
@@ -646,6 +841,29 @@ def main(argv=None) -> int:
             floor=args.floor if args.floor is not None else CHURN_SPEEDUP_FLOOR,
         )
         print(format_churn_report(payload))
+    elif args.suite == "shard":
+        for flag, value in (
+            ("--runs", args.runs),
+            ("--rss-factor", args.rss_factor),
+        ):
+            if value is not None:
+                parser.error(f"{flag} does not apply to --suite shard")
+        if args.policies is not None and len(args.policies) != 1:
+            parser.error("--suite shard takes exactly one --policies entry")
+        megascale_payload = None
+        if args.attach_megascale is not None:
+            with open(args.attach_megascale) as handle:
+                megascale_payload = json.load(handle)
+        payload = run_shard_benchmark(
+            policy=args.policies[0] if args.policies else SHARD_POLICY,
+            num_devices=args.devices if args.devices is not None else SHARD_NUM_DEVICES,
+            horizon=args.slots if args.slots is not None else SHARD_HORIZON_SLOTS,
+            workers=args.workers,
+            repeats=args.repeats if args.repeats is not None else 1,
+            floor=args.floor if args.floor is not None else SHARD_SPEEDUP_FLOOR,
+            megascale_payload=megascale_payload,
+        )
+        print(format_shard_report(payload))
     elif args.suite == "results":
         for flag, value in (
             ("--workers", args.workers),

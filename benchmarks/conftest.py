@@ -16,6 +16,11 @@ Environment variables:
   produce bit-identical results).
 * ``REPRO_BENCH_WORKERS`` — process-pool width for multi-run experiments
   (default unset = serial; parallel results are bit-identical to serial).
+  With ``REPRO_BENCH_SHARDS`` set the width applies *inside* each run
+  (shard worker processes) instead of across runs.
+* ``REPRO_BENCH_SHARDS`` — device-axis shard count per run; setting it
+  forces ``backend="sharded"`` (results stay bit-identical to the other
+  backends for any shard count).
 * ``REPRO_BENCH_PAPER=1`` — use the full paper-scale configuration (slow;
   combine with ``REPRO_BENCH_WORKERS`` to spread the 500 runs over cores).
 """
@@ -37,8 +42,14 @@ def bench_config(
     backend = os.environ.get("REPRO_BENCH_BACKEND", "vectorized")
     workers_env = os.environ.get("REPRO_BENCH_WORKERS")
     workers = int(workers_env) if workers_env is not None else None
+    shards_env = os.environ.get("REPRO_BENCH_SHARDS")
+    shards = int(shards_env) if shards_env is not None else None
+    if shards is not None:
+        backend = "sharded"
     if os.environ.get("REPRO_BENCH_PAPER") == "1":
-        return ExperimentConfig.paper().replace(backend=backend, workers=workers)
+        return ExperimentConfig.paper().replace(
+            backend=backend, workers=workers, shards=shards
+        )
     runs = int(os.environ.get("REPRO_BENCH_RUNS", default_runs))
     horizon_env = os.environ.get("REPRO_BENCH_HORIZON")
     if horizon_env is not None:
@@ -46,7 +57,11 @@ def bench_config(
     else:
         horizon = default_horizon
     return ExperimentConfig(
-        runs=runs, horizon_slots=horizon, backend=backend, workers=workers
+        runs=runs,
+        horizon_slots=horizon,
+        backend=backend,
+        workers=workers,
+        shards=shards,
     )
 
 

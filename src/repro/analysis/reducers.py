@@ -26,6 +26,18 @@ Reducers that do not read the selection-probability tensor declare
 tensor altogether, which removes the dominant share of a run's footprint
 before the run even finishes.
 
+Sharded runs add a second, *device-partitioned* reduction axis.  A reducer
+that can compute its per-run payload from per-shard slot windows implements
+the shard protocol (``shard_capable`` / :meth:`Reducer.shard_map` /
+:meth:`Reducer.shard_merge` / :meth:`Reducer.shard_finalize`): the sharded
+engine then streams each shard's bounded :class:`ShardWindow` views through
+``shard_map`` as the run advances — no process ever holds the full
+``(devices × slots)`` blocks — merges the shard states in ascending device
+order and finalizes them into exactly the payload ``map(full_result)``
+would have produced (up to float summation order).  Reducers without the
+protocol still work with the sharded backend through a gather-then-map
+fallback.
+
 Built-in vocabulary (also addressable by name through ``run_many``):
 
 * ``"summary"`` — :class:`SummaryReducer`: the per-run headline scalars
@@ -87,6 +99,23 @@ class RunSummaries:
         return float(np.nanmedian(self.values(key)))
 
 
+@dataclass(frozen=True)
+class ShardWindow:
+    """One shard's slot window, as handed to :meth:`Reducer.shard_map`.
+
+    ``result`` is a normal :class:`~repro.sim.metrics.SimulationResult`
+    whose blocks cover only this shard's devices over slots
+    ``[slot_start, slot_start + result.num_slots)`` of a
+    ``total_slots``-long run (block views — do not retain them past the
+    call; copy what must survive into the state).
+    """
+
+    result: SimulationResult
+    slot_start: int
+    total_slots: int
+    seed: int
+
+
 class Reducer:
     """Base streaming reducer (see the module docstring for the contract)."""
 
@@ -104,6 +133,31 @@ class Reducer:
 
     def finalize(self, payload):
         return payload
+
+    # ------------------------------------------------ device-partition axis
+
+    def shard_capable(self) -> bool:
+        """Whether this reducer implements the shard (device-partition)
+        protocol; the sharded backend falls back to gather-then-map when
+        False."""
+        return False
+
+    def shard_map(self, window: ShardWindow, state=None):
+        """Fold one shard slot-window into the shard's running state.
+
+        Called once per window in ascending slot order within one shard
+        (``state=None`` on the first call).  Must not retain references to
+        the window's blocks — they are reused for the next window.
+        """
+        raise NotImplementedError
+
+    def shard_merge(self, a, b):
+        """Merge two adjacent shards' states (ascending device order)."""
+        raise NotImplementedError
+
+    def shard_finalize(self, state):
+        """Turn the merged shard state into the :meth:`map` payload."""
+        raise NotImplementedError
 
     def reduce_all(self, results: Iterable[SimulationResult]):
         """Map/merge/finalize an iterable of results (streaming, in order)."""
@@ -156,6 +210,51 @@ class SummaryReducer(RowsReducer):
             "jains_index": download_jains_index(result),
         }
 
+    # Shard protocol: every headline scalar derives from per-device
+    # downloads and switch counts, both of which accumulate over slot
+    # windows and concatenate over device shards.
+    def shard_capable(self) -> bool:
+        return True
+
+    def shard_map(self, window: ShardWindow, state=None):
+        downloads = window.result.downloads_mb()
+        switches = window.result.switch_counts()
+        if state is None:
+            return {
+                "seed": window.seed,
+                "num_slots": window.total_slots,
+                "downloads": downloads.astype(float),
+                "switches": switches.astype(np.int64),
+            }
+        state["downloads"] += downloads
+        state["switches"] += switches
+        return state
+
+    def shard_merge(self, a, b):
+        return {
+            "seed": a["seed"],
+            "num_slots": a["num_slots"],
+            "downloads": np.concatenate([a["downloads"], b["downloads"]]),
+            "switches": np.concatenate([a["switches"], b["switches"]]),
+        }
+
+    def shard_finalize(self, state) -> list[dict]:
+        downloads = state["downloads"]
+        switches = state["switches"]
+        return [
+            {
+                "seed": state["seed"],
+                "num_devices": float(downloads.size),
+                "num_slots": float(state["num_slots"]),
+                "mean_switches": float(np.mean(switches)) if switches.size else 0.0,
+                "median_download_mb": float(np.median(downloads)) if downloads.size else 0.0,
+                "std_download_mb": float(np.std(downloads)) if downloads.size else 0.0,
+                "total_download_gb": float(np.sum(downloads)) / 1024.0,
+                "total_switches": int(np.sum(switches)),
+                "jains_index": jains_index(downloads),
+            }
+        ]
+
 
 class DownloadReducer(RowsReducer):
     """Per-run download statistics (Table V / Fig. 5 reproductions)."""
@@ -177,6 +276,51 @@ class DownloadReducer(RowsReducer):
             "jains_index": jains_index(downloads),
             "total_switching_cost_mb": float(np.sum(costs)),
         }
+
+    # Shard protocol: the per-device download/cost vectors partition over
+    # shards (each selected device lives in exactly one shard).
+    def shard_capable(self) -> bool:
+        return True
+
+    def _window_rows(self, window: ShardWindow):
+        if self.device_ids is None:
+            return None
+        wanted = set(self.device_ids)
+        return [d for d in window.result.device_ids if d in wanted]
+
+    def shard_map(self, window: ShardWindow, state=None):
+        rows = self._window_rows(window)
+        downloads = window.result.downloads_mb(rows)
+        costs = window.result.switching_costs_mb(rows)
+        if state is None:
+            return {
+                "seed": window.seed,
+                "downloads": downloads.astype(float),
+                "costs": costs.astype(float),
+            }
+        state["downloads"] += downloads
+        state["costs"] += costs
+        return state
+
+    def shard_merge(self, a, b):
+        return {
+            "seed": a["seed"],
+            "downloads": np.concatenate([a["downloads"], b["downloads"]]),
+            "costs": np.concatenate([a["costs"], b["costs"]]),
+        }
+
+    def shard_finalize(self, state) -> list[dict]:
+        downloads = state["downloads"]
+        return [
+            {
+                "seed": state["seed"],
+                "median_download_mb": float(np.median(downloads)) if downloads.size else 0.0,
+                "mean_download_mb": float(np.mean(downloads)) if downloads.size else 0.0,
+                "std_download_mb": float(np.std(downloads)) if downloads.size else 0.0,
+                "jains_index": jains_index(downloads),
+                "total_switching_cost_mb": float(np.sum(state["costs"])),
+            }
+        ]
 
 
 class StabilityReducer(RowsReducer):
@@ -252,6 +396,44 @@ class TimeSeriesReducer(Reducer):
         total = a["count"] + b["count"]
         series = (a["count"] * a["series"] + b["count"] * b["series"]) / total
         return {"count": total, "series": series}
+
+    # Shard protocol: the built-in series are per-slot ratios of
+    # device-axis sums, which add across both slot windows and shards.
+    # A custom ``series_fn`` is an arbitrary function of the full record,
+    # so those instances fall back to gather-then-map.
+    def shard_capable(self) -> bool:
+        return self.series_fn in (mean_rate_series, switch_fraction_series)
+
+    def shard_map(self, window: ShardWindow, state=None):
+        if state is None:
+            state = {
+                "totals": np.zeros(window.total_slots, dtype=float),
+                "counts": np.zeros(window.total_slots, dtype=float),
+            }
+        result = window.result
+        span = slice(window.slot_start, window.slot_start + result.num_slots)
+        state["counts"][span] += result.active_2d.sum(axis=0)
+        if self.series_fn is mean_rate_series:
+            state["totals"][span] += result.rates_2d.sum(axis=0, dtype=float)
+        else:
+            state["totals"][span] += result.switches_2d.sum(axis=0)
+        return state
+
+    def shard_merge(self, a, b):
+        return {
+            "totals": a["totals"] + b["totals"],
+            "counts": a["counts"] + b["counts"],
+        }
+
+    def shard_finalize(self, state) -> dict:
+        counts = state["counts"]
+        series = np.divide(
+            state["totals"],
+            counts,
+            out=np.zeros(counts.size, dtype=float),
+            where=counts > 0,
+        )
+        return {"count": 1, "series": downsample_series(series, self.points)}
 
 
 #: Built-in reducers addressable by name through ``run_many(reduce="...")``.

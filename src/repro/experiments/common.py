@@ -56,7 +56,9 @@ class ExperimentConfig:
     horizon_slots:
         Horizon of each run, in slots; ``None`` keeps the scenario's default.
     base_seed:
-        Seed of the first run; run ``i`` uses ``base_seed + i``.
+        Entropy of the experiment's seed root; run ``i`` derives its RNG
+        streams from ``SeedSequence(base_seed).spawn(runs)[i]`` (and is
+        labelled ``base_seed + i`` in results).
     backend:
         Slot-execution backend (see :func:`repro.sim.backends.available_backends`).
         Every backend is bit-exact, so this only affects speed; the
@@ -64,10 +66,15 @@ class ExperimentConfig:
     workers:
         Process-pool width for multi-run experiments; ``None`` (default),
         ``0`` or ``1`` runs serially.  Parallel results are bit-identical to
-        serial ones.
+        serial ones.  With ``shards`` set the budget moves inside each run
+        (shard worker processes) and the run loop goes serial.
     chunksize:
         Seeds per pool dispatch for parallel ``run_many`` (``None`` uses the
         runner's ~4-chunks-per-worker heuristic).
+    shards:
+        Device-axis shard count per run; requires ``backend="sharded"``
+        (see :mod:`repro.sim.sharded`).  ``None`` leaves the backend's
+        default configuration.
     """
 
     runs: int = 5
@@ -76,6 +83,7 @@ class ExperimentConfig:
     backend: str = "vectorized"
     workers: int | None = None
     chunksize: int | None = None
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         if self.runs < 1:
@@ -91,6 +99,14 @@ class ExperimentConfig:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         if self.chunksize is not None and self.chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {self.chunksize}")
+        if self.shards is not None:
+            if self.shards < 1:
+                raise ValueError(f"shards must be >= 1, got {self.shards}")
+            if self.backend != "sharded":
+                raise ValueError(
+                    "shards= requires backend='sharded', "
+                    f"got backend={self.backend!r}"
+                )
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -138,6 +154,7 @@ def run_with_config(scenario: Scenario, config: ExperimentConfig, reduce=None):
         workers=config.workers,
         reduce=reduce,
         chunksize=config.chunksize,
+        shards=config.shards,
     )
 
 

@@ -1,0 +1,173 @@
+"""Megascale — million-device populations on the sharded engine.
+
+The ROADMAP's north star asks for "heavy traffic from millions of users";
+this driver demonstrates it: a :class:`~repro.sim.sharded.HomogeneousPopulation`
+of up to 10\\ :sup:`6` learning devices contending for a handful of networks,
+executed by the ``"sharded"`` backend with the windowed in-shard reduction —
+so no process ever materialises the full device list, the full policy
+population, or an ``O(devices × slots)`` result block.  Peak RSS is bounded
+by one shard's state (policies + a ``devices/shards × window`` recorder
+window) plus the reducer's per-device scalars, which
+``benchmarks/bench_backend_speedup.py --suite shard`` records as
+``BENCH_sharded_population.json``.
+
+Run it scaled down from the benchmark harness (the test-suite default is a
+few thousand devices), or at full scale from the command line::
+
+    PYTHONPATH=src python -m repro.experiments.megascale \
+        --devices 1000000 --slots 1000 --shards 8 --workers 4 --dtype float32
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import os
+import sys
+import time
+
+from repro.analysis.reducers import SummaryReducer
+from repro.experiments.common import ExperimentConfig
+from repro.sim.sharded import HomogeneousPopulation, ShardedSlotExecutor
+
+#: Scaled-down defaults (the full-scale acceptance run is CLI-driven).
+DEFAULT_DEVICES = 5000
+DEFAULT_SLOTS = 200
+DEFAULT_BANDWIDTHS = (4.0, 7.0, 22.0)
+
+
+def peak_rss_bytes(include_children: bool = True) -> int | None:
+    """High-water RSS of this process (and reaped children) in bytes."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if include_children:
+        peak = max(peak, resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    return int(peak) * (1 if sys.platform == "darwin" else 1024)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    num_devices: int = DEFAULT_DEVICES,
+    horizon_slots: int | None = None,
+    policy: str = "exp3",
+    shards: int | None = None,
+    workers: int | None = None,
+    dtype: str = "float32",
+    window_slots: int = 256,
+    seed: int = 0,
+    heartbeat_seconds: float | None = 30.0,
+) -> dict:
+    """One megascale population run, summarised through the shard reducer.
+
+    ``shards``/``workers`` default to the config's values, then to
+    ``min(cpu_count, 8)`` shards driven by one worker process per shard
+    when the machine has the cores (``workers=1`` falls back to the serial
+    in-process lockstep, which is the bit-exact debugging mode).
+    """
+    config = config or ExperimentConfig(runs=1, horizon_slots=None)
+    slots = horizon_slots or config.horizon_slots or DEFAULT_SLOTS
+    cpus = os.cpu_count() or 1
+    if shards is None:
+        shards = config.shards or max(1, min(cpus, 8))
+    if workers is None:
+        workers = config.workers or min(shards, cpus)
+    workers = max(1, min(workers, shards))
+
+    population = HomogeneousPopulation(
+        num_devices=num_devices,
+        policy=policy,
+        bandwidths=DEFAULT_BANDWIDTHS,
+        horizon_slots=slots,
+        name=f"megascale_d{num_devices}",
+    )
+    executor = ShardedSlotExecutor(
+        shards=shards,
+        workers=workers,
+        dtype=dtype,
+        window_slots=window_slots,
+        heartbeat_seconds=heartbeat_seconds,
+    )
+    reducer = SummaryReducer()
+
+    baseline_rss = peak_rss_bytes()
+    started = time.perf_counter()
+    payload = executor.execute_population(population, seed, reducer)
+    seconds = time.perf_counter() - started
+    peak_rss = peak_rss_bytes()
+
+    summary = reducer.finalize(payload).rows[0]
+    device_slots = num_devices * slots
+    return {
+        "population": {
+            "num_devices": num_devices,
+            "horizon_slots": slots,
+            "policy": policy,
+            "networks": len(DEFAULT_BANDWIDTHS),
+        },
+        "execution": {
+            "backend": "sharded",
+            "shards": shards,
+            "workers": workers,
+            "dtype": dtype,
+            "window_slots": window_slots,
+            "cpu_count": cpus,
+        },
+        "perf": {
+            "seconds": seconds,
+            "device_slots": device_slots,
+            "device_slots_per_second": device_slots / max(seconds, 1e-9),
+            "devices_per_second": num_devices / max(seconds, 1e-9),
+            "baseline_rss_bytes": baseline_rss,
+            "peak_rss_bytes": peak_rss,
+        },
+        "summary": summary,
+    }
+
+
+def paper_config() -> ExperimentConfig:
+    """Config sketch for the full-scale run (drive it from the CLI)."""
+    return ExperimentConfig(runs=1, horizon_slots=1000, backend="sharded", shards=8)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--devices", type=int, default=1_000_000)
+    parser.add_argument("--slots", type=int, default=1000)
+    parser.add_argument("--policy", default="exp3")
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--dtype", choices=("float64", "float32"), default="float32")
+    parser.add_argument("--window", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--heartbeat", type=float, default=30.0)
+    parser.add_argument("--json", default=None, help="write the payload here")
+    args = parser.parse_args(argv)
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    payload = run(
+        num_devices=args.devices,
+        horizon_slots=args.slots,
+        policy=args.policy,
+        shards=args.shards,
+        workers=args.workers,
+        dtype=args.dtype,
+        window_slots=args.window,
+        seed=args.seed,
+        heartbeat_seconds=args.heartbeat,
+    )
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,10 @@ subpackage re-implements that substrate from scratch:
 * :mod:`repro.sim.metrics` — per-run result containers.
 * :mod:`repro.sim.backends` — pluggable slot-execution backends (the
   reference event-calendar backend and the batched vectorized backend).
+* :mod:`repro.sim.sharded` — the sharded population engine: device-axis
+  sharding with a per-slot occupancy all-reduce for million-device runs.
 * :mod:`repro.sim.runner` — single-run and multi-run simulation drivers with
-  backend selection and process-pool parallelism.
+  backend selection, process-pool parallelism and device-axis sharding.
 * :mod:`repro.sim.traces` — synthetic WiFi/cellular trace library and the
   trace-driven single-device simulator (Section VI-B substitution).
 * :mod:`repro.sim.testbed` — noisy testbed scenarios (Section VII-A substitution).

@@ -17,6 +17,12 @@ fast they get there:
 * ``"vectorized-nokernel"`` — the same backend with the kernel layer
   disabled (every learning policy on the per-device scalar path); exists so
   benchmarks can measure the kernel layer in isolation.
+* ``"sharded"`` — :class:`~repro.sim.sharded.ShardedSlotExecutor`, the
+  device-axis sharded engine (:mod:`repro.sim.sharded`): K shards running
+  the kernel/churn machinery locally, synchronised once per slot by an
+  all-reduce of per-network occupancy.  The registry default is the
+  2-shard in-process configuration; ``run_many(shards=..., workers=...)``
+  configures real fan-out.
 
 Third-party backends can be added with :func:`register_backend`; the runner
 resolves names through :func:`get_backend`.
@@ -28,15 +34,27 @@ from typing import Callable
 
 from repro.sim.backends.base import (
     DeviceRuntime,
+    RunSeed,
     RunState,
     SlotExecutor,
     SlotRecorder,
     build_policies,
+    derive_run_streams,
     execute_reference_slot,
+    policy_rank_table,
     prepare_run,
+    resolve_run_seed,
 )
 from repro.sim.backends.event import EventSlotExecutor
 from repro.sim.backends.vectorized import VectorizedSlotExecutor
+
+
+def _sharded_factory() -> SlotExecutor:
+    # Imported lazily so the sharded subsystem (which imports this package's
+    # base module) never races the registry's own import.
+    from repro.sim.sharded.executor import ShardedSlotExecutor
+
+    return ShardedSlotExecutor()
 
 #: Backend used when callers do not ask for one explicitly.  The event
 #: backend remains the default for direct ``run_simulation`` calls so the
@@ -48,6 +66,7 @@ _BACKENDS: dict[str, Callable[[], SlotExecutor]] = {
     EventSlotExecutor.name: EventSlotExecutor,
     VectorizedSlotExecutor.name: VectorizedSlotExecutor,
     "vectorized-nokernel": lambda: VectorizedSlotExecutor(use_kernels=False),
+    "sharded": _sharded_factory,
 }
 
 
@@ -80,14 +99,18 @@ __all__ = [
     "DEFAULT_BACKEND",
     "DeviceRuntime",
     "EventSlotExecutor",
+    "RunSeed",
     "RunState",
     "SlotExecutor",
     "SlotRecorder",
     "VectorizedSlotExecutor",
     "available_backends",
     "build_policies",
+    "derive_run_streams",
     "execute_reference_slot",
     "get_backend",
+    "policy_rank_table",
     "prepare_run",
     "register_backend",
+    "resolve_run_seed",
 ]

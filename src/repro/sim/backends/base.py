@@ -49,6 +49,62 @@ from repro.sim.environment import WirelessEnvironment
 from repro.sim.metrics import NO_NETWORK, SimulationResult
 from repro.sim.scenario import Scenario
 
+#: Result dtypes the recorder accepts for its floating-point blocks.
+RECORDER_DTYPES = ("float64", "float32")
+
+
+@dataclass(frozen=True)
+class RunSeed:
+    """A run's RNG root plus the integer label recorded in the result.
+
+    ``run_many`` derives one :class:`numpy.random.SeedSequence` child per run
+    via ``SeedSequence(base_seed).spawn`` (streams never alias across
+    ``base_seed``/``runs``/``workers`` choices) but still wants the familiar
+    ``base_seed + i`` integer to appear as :attr:`SimulationResult.seed` in
+    reducer rows and reports; this pairs the two.
+    """
+
+    root: np.random.SeedSequence
+    label: int
+
+
+def resolve_run_seed(seed) -> tuple[np.random.SeedSequence, int]:
+    """Normalise ``seed`` (int | SeedSequence | RunSeed) to ``(root, label)``.
+
+    For a bare int this is exactly what ``numpy.random.default_rng(seed)``
+    would build internally, so integer-seeded runs are bit-identical to the
+    historical behaviour.  For a spawned :class:`~numpy.random.SeedSequence`
+    the label folds the spawn key into the entropy (provenance only — the
+    streams come from the sequence itself).
+    """
+    if isinstance(seed, RunSeed):
+        return seed.root, seed.label
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy if isinstance(seed.entropy, int) else 0
+        return seed, int(entropy + sum(seed.spawn_key))
+    return np.random.SeedSequence(seed), int(seed)
+
+
+def derive_run_streams(
+    seed, num_devices: int
+) -> tuple[int, np.ndarray, int]:
+    """The run's environment seed and per-device policy seeds.
+
+    Consumes the master generator exactly as the historical sequential code
+    did (one ``integers`` draw for the environment, then one per device in
+    scenario order — a bounded-integer *array* draw is bit-identical to the
+    equivalent scalar-draw loop), but returns the per-device seeds as one
+    array so shard workers can slice their devices out without replaying a
+    Python loop over the whole population.  Because the derivation depends
+    only on the run seed and the device order — never on the shard layout —
+    per-device streams are invariant under any shard/worker count.
+    """
+    root, label = resolve_run_seed(seed)
+    rng = np.random.default_rng(root)
+    environment_seed = int(rng.integers(0, 2**63 - 1))
+    policy_seeds = rng.integers(0, 2**63 - 1, size=num_devices)
+    return environment_seed, policy_seeds, label
+
 
 class DeviceRuntime:
     """Mutable per-device bookkeeping used during a run."""
@@ -62,34 +118,57 @@ class DeviceRuntime:
         self.visible: frozenset[int] | None = None
 
 
+def policy_rank_table(specs: Sequence) -> list[tuple[int, int]]:
+    """Per-spec ``(device_index, num_devices)`` ranks within each policy name.
+
+    The rank is assigned in scenario-spec order (used by the Centralized
+    baseline to spread devices over networks); shard workers receive their
+    slice of this table so a shard-local build observes the same global ranks
+    an unsharded build would.
+    """
+    per_policy_counts: dict[str, int] = {}
+    for spec in specs:
+        per_policy_counts[spec.policy] = per_policy_counts.get(spec.policy, 0) + 1
+    per_policy_seen: dict[str, int] = {}
+    ranks: list[tuple[int, int]] = []
+    for spec in specs:
+        index = per_policy_seen.get(spec.policy, 0)
+        per_policy_seen[spec.policy] = index + 1
+        ranks.append((index, per_policy_counts[spec.policy]))
+    return ranks
+
+
 def build_policies(
-    scenario: Scenario, rng: np.random.Generator
+    scenario: Scenario,
+    policy_seeds: np.ndarray,
+    policy_ranks: Sequence[tuple[int, int]] | None = None,
 ) -> dict[int, DeviceRuntime]:
     """Instantiate one policy per device according to the scenario specs.
 
-    The per-device RNG seeds are drawn from ``rng`` in scenario order; this
-    order is part of the cross-backend reproducibility contract.
+    ``policy_seeds`` holds one integer seed per spec, in scenario order —
+    drawn by :func:`derive_run_streams` from the run's master generator
+    (their order is part of the cross-backend reproducibility contract).
+    ``policy_ranks`` may carry precomputed :func:`policy_rank_table` entries;
+    shard-local builds pass their slice of the global table so Centralized
+    ranks stay population-wide.
     """
     bandwidths = {n.network_id: n.bandwidth_mbps for n in scenario.networks}
-    # Rank devices within each policy name (used by the Centralized baseline).
-    per_policy_counts: dict[str, int] = {}
-    for spec in scenario.device_specs:
-        per_policy_counts[spec.policy] = per_policy_counts.get(spec.policy, 0) + 1
-    per_policy_seen: dict[str, int] = {}
+    if policy_ranks is None:
+        policy_ranks = policy_rank_table(scenario.device_specs)
 
     runtimes: dict[int, DeviceRuntime] = {}
-    for spec in scenario.device_specs:
+    for spec, seed, (index, total) in zip(
+        scenario.device_specs, policy_seeds, policy_ranks
+    ):
         device = spec.device
         visible = scenario.coverage.visible_networks(device, device.join_slot)
-        index = per_policy_seen.get(spec.policy, 0)
-        per_policy_seen[spec.policy] = index + 1
         context = PolicyContext(
             network_ids=tuple(sorted(visible)),
-            rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
+            rng=np.random.default_rng(int(seed)),
             slot_duration_s=scenario.slot_duration_s,
             network_bandwidths=dict(bandwidths),
             device_index=index,
-            num_devices=per_policy_counts[spec.policy],
+            num_devices=total,
         )
         policy = create_policy(spec.policy, context, **spec.policy_kwargs)
         runtime = DeviceRuntime(spec, policy)
@@ -113,6 +192,13 @@ class SlotRecorder:
     ``record_probabilities=False`` skips its allocation entirely (every
     probability write in the backends and kernels is gated on the block
     being present).
+
+    ``dtype`` selects the storage precision of the floating-point blocks
+    (``rates``/``delays``/``probabilities``): ``"float32"`` halves their
+    footprint — the lever the sharded engine uses at million-device scale.
+    Backends compute in float64 and only *store* at the requested precision,
+    so the run's dynamics (choices, switches, policy streams) are bit-exact
+    regardless of dtype; equivalence tests pin the float64 default.
     """
 
     __slots__ = (
@@ -135,7 +221,13 @@ class SlotRecorder:
         network_order: tuple[int, ...],
         num_slots: int,
         record_probabilities: bool = True,
+        dtype: str = "float64",
     ) -> None:
+        if str(dtype) not in RECORDER_DTYPES:
+            raise ValueError(
+                f"recorder dtype must be one of {RECORDER_DTYPES}, got {dtype!r}"
+            )
+        float_dtype = np.dtype(dtype)
         num_devices = len(device_ids)
         num_networks = len(network_order)
         self.device_ids = device_ids
@@ -146,12 +238,12 @@ class SlotRecorder:
             network_id: col for col, network_id in enumerate(network_order)
         }
         self.choices = np.full((num_devices, num_slots), NO_NETWORK, dtype=np.int64)
-        self.rates = np.zeros((num_devices, num_slots), dtype=float)
-        self.delays = np.zeros((num_devices, num_slots), dtype=float)
+        self.rates = np.zeros((num_devices, num_slots), dtype=float_dtype)
+        self.delays = np.zeros((num_devices, num_slots), dtype=float_dtype)
         self.switches = np.zeros((num_devices, num_slots), dtype=bool)
         self.active = np.zeros((num_devices, num_slots), dtype=bool)
         self.probabilities = (
-            np.zeros((num_devices, num_slots, num_networks), dtype=float)
+            np.zeros((num_devices, num_slots, num_networks), dtype=float_dtype)
             if record_probabilities
             else None
         )
@@ -368,19 +460,30 @@ class RunState:
 
 
 def prepare_run(
-    scenario: Scenario, seed: int, record_probabilities: bool = True
+    scenario: Scenario,
+    seed=0,
+    record_probabilities: bool = True,
+    dtype: str = "float64",
 ) -> RunState:
     """Seed the RNG streams and allocate the shared run state for one run.
+
+    ``seed`` may be an int, a spawned :class:`numpy.random.SeedSequence`
+    (what ``run_many`` hands out per run) or a :class:`RunSeed`; an int
+    yields streams bit-identical to the historical behaviour.
 
     ``record_probabilities=False`` skips the probability tensor: recording
     probabilities never consumes RNG state, so the run's dynamics and every
     other result block stay bit-identical to a fully recorded run.
+    ``dtype="float32"`` stores the floating-point blocks at half precision
+    (dynamics unaffected — see :class:`SlotRecorder`).
     """
-    rng = np.random.default_rng(seed)
-    environment = WirelessEnvironment(
-        scenario, np.random.default_rng(rng.integers(0, 2**63 - 1))
+    environment_seed, policy_seeds, label = derive_run_streams(
+        seed, len(scenario.device_specs)
     )
-    runtimes = build_policies(scenario, rng)
+    environment = WirelessEnvironment(
+        scenario, np.random.default_rng(environment_seed)
+    )
+    runtimes = build_policies(scenario, policy_seeds)
     device_ids = tuple(sorted(runtimes))
     network_order = tuple(sorted(scenario.network_map))
     num_slots = scenario.horizon_slots
@@ -391,7 +494,7 @@ def prepare_run(
     )
     return RunState(
         scenario=scenario,
-        seed=seed,
+        seed=label,
         environment=environment,
         runtimes=runtimes,
         device_ids=device_ids,
@@ -401,7 +504,7 @@ def prepare_run(
         ),
         num_slots=num_slots,
         recorder=SlotRecorder(
-            device_ids, network_order, num_slots, record_probabilities
+            device_ids, network_order, num_slots, record_probabilities, dtype
         ),
         topology=topology,
     )
@@ -499,11 +602,13 @@ class SlotExecutor(ABC):
     def execute(
         self,
         scenario: Scenario,
-        seed: int = 0,
+        seed=0,
         record_probabilities: bool = True,
     ) -> SimulationResult:
         """Run ``scenario`` once with ``seed`` and return the full record.
 
-        ``record_probabilities=False`` drops the per-slot probability tensor
-        from the result (all other blocks stay bit-identical).
+        ``seed`` accepts an int, a spawned ``SeedSequence`` or a
+        :class:`RunSeed`.  ``record_probabilities=False`` drops the per-slot
+        probability tensor from the result (all other blocks stay
+        bit-identical).
         """

@@ -54,15 +54,16 @@ import numpy as np
 import repro.algorithms.kernels  # noqa: F401  (registers the built-in kernels)
 from repro.algorithms.base import Observation
 from repro.algorithms.kernels.base import SlotFeedback
-from repro.algorithms.registry import kernel_for_policy
 from repro.game.gain import EqualShareModel
 from repro.sim.backends.base import SlotExecutor, prepare_run
+from repro.sim.backends.membership import (
+    FALLBACK as _FALLBACK,
+    FROZEN as _FROZEN,
+    MembershipState,
+    equal_share_feedback,
+)
 from repro.sim.metrics import SimulationResult
 from repro.sim.scenario import Scenario
-
-#: Per-row execution class, fixed for the whole run (the *group* a kernel row
-#: belongs to changes with its visible set; its class never does).
-_FROZEN, _KERNEL, _FALLBACK = 0, 1, 2
 
 
 class VectorizedSlotExecutor(SlotExecutor):
@@ -118,114 +119,19 @@ class VectorizedSlotExecutor(SlotExecutor):
             return state.finish()  # no device is ever present
         active2d[:] = plan.activity_mask()
 
-        # ---- static per-row execution class
-        category = np.empty(num_devices, dtype=np.int8)
-        for row, policy in enumerate(policies_by_row):
-            if policy.stationary and not policy.needs_full_feedback:
-                category[row] = _FROZEN
-            else:
-                kernel_cls = (
-                    kernel_for_policy(policy) if self.use_kernels else None
-                )
-                if (
-                    kernel_cls is not None
-                    and kernel_cls.group_key(policy) is not None
-                ):
-                    category[row] = _KERNEL
-                else:
-                    category[row] = _FALLBACK
-
-        # ---- persistent run state
-        active = np.zeros(num_devices, dtype=bool)
+        # ---- persistent run state (execution classes, kernel groups and
+        # frozen bookkeeping live in the shared membership layer; topology
+        # events edit them in place through membership.apply_events)
+        membership = MembershipState(runtimes_by_row, recorder, self.use_kernels)
+        category = membership.category
+        active = membership.active
+        kernels_by_key = membership.kernels_by_key
+        kernel_of = membership.kernel_of
+        fallback_rows = membership.fallback_rows
+        frozen_dirty = membership.frozen_dirty
+        frozen_probs = membership.frozen_probs
         choice_col = np.zeros(num_devices, dtype=np.intp)
         prev_col = np.full(num_devices, -1, dtype=np.intp)
-        kernels_by_key: dict = {}  # (kernel class, group key) -> kernel
-        kernel_of: dict = {}  # row -> kernel
-        fallback_rows: set[int] = set()
-        frozen_dirty: set[int] = set()
-        frozen_probs: dict[int, tuple[list, np.ndarray]] = {}
-
-        def attach_kernel_row(row: int, pending: dict) -> None:
-            """Queue a kernel-class row for (re-)gathering into its group."""
-            runtime = runtimes_by_row[row]
-            policy = runtime.policy
-            kernel_cls = kernel_for_policy(policy)
-            key = (
-                kernel_cls.group_key(policy) if kernel_cls is not None else None
-            )
-            if key is None:  # e.g. a custom group_key vetoing this config
-                category[row] = _FALLBACK
-                fallback_rows.add(row)
-                return
-            pending.setdefault((kernel_cls, key), []).append(
-                (row, runtime, policy)
-            )
-
-        def apply_events(events) -> None:
-            """Apply one boundary's joins/leaves/visibility edits in place."""
-            removals: dict = {}  # kernel -> list of local row indices
-            pending: dict = {}  # (kernel class, key) -> fresh gather entries
-
-            def detach(row: int) -> None:
-                kernel = kernel_of.pop(row, None)
-                if kernel is not None:
-                    local = int(np.nonzero(kernel.rows == row)[0][0])
-                    removals.setdefault(kernel, []).append(local)
-
-            for row in events.leaves:
-                active[row] = False
-                cat = category[row]
-                if cat == _KERNEL:
-                    detach(row)
-                elif cat == _FALLBACK:
-                    fallback_rows.discard(row)
-                else:
-                    frozen_probs.pop(row, None)
-                    frozen_dirty.discard(row)
-            for row, _visible in events.visibility:
-                if category[row] == _KERNEL:
-                    detach(row)
-
-            # Scatter departing/re-covered rows back to their scalar policies
-            # *before* any visible-set update touches those policies.
-            for kernel, local_rows in removals.items():
-                if len(local_rows) == kernel.size:
-                    kernel.flush()
-                    kernels_by_key.pop(kernel._executor_key, None)
-                else:
-                    kernel.remove_rows(local_rows)
-
-            for row, visible in events.visibility:
-                runtime = runtimes_by_row[row]
-                runtime.policy.update_available_networks(visible)
-                runtime.visible = visible
-                cat = category[row]
-                if cat == _KERNEL:
-                    attach_kernel_row(row, pending)
-                elif cat == _FROZEN:
-                    frozen_dirty.add(row)
-                    frozen_probs.pop(row, None)
-
-            for row in events.joins:
-                active[row] = True
-                cat = category[row]
-                if cat == _KERNEL:
-                    attach_kernel_row(row, pending)
-                elif cat == _FALLBACK:
-                    fallback_rows.add(row)
-                else:
-                    frozen_dirty.add(row)
-
-            for group, entries in pending.items():
-                fresh = group[0](entries, recorder)
-                kernel = kernels_by_key.get(group)
-                if kernel is None:
-                    fresh._executor_key = group
-                    kernels_by_key[group] = kernel = fresh
-                else:
-                    kernel.absorb(fresh)
-                for entry in entries:
-                    kernel_of[entry[0]] = kernel
 
         boundaries = list(plan.event_slots)
         boundaries.append(num_slots + 1)
@@ -235,7 +141,7 @@ class VectorizedSlotExecutor(SlotExecutor):
             seg_end = boundaries[seg + 1]  # epoch covers slots [seg_start, seg_end)
             events = plan.events.get(seg_start)
             if events is not None:
-                apply_events(events)
+                membership.apply_events(events)
 
             act_rows = np.nonzero(active)[0]
             if act_rows.size == 0:
@@ -374,21 +280,8 @@ class VectorizedSlotExecutor(SlotExecutor):
                 member_gain = join_gain = None
                 if need_feedback:
                     if fast_physics:
-                        member_gain = np.minimum(
-                            np.where(
-                                counts <= 1,
-                                bandwidths,
-                                bandwidths / np.maximum(counts, 1),
-                            )
-                            / scale_ref,
-                            1.0,
-                        )
-                        join_gain = np.minimum(
-                            np.where(
-                                counts == 0, bandwidths, bandwidths / (counts + 1)
-                            )
-                            / scale_ref,
-                            1.0,
+                        member_gain, join_gain = equal_share_feedback(
+                            counts, bandwidths, scale_ref
                         )
                         feedback = SlotFeedback(
                             member_gain=member_gain, join_gain=join_gain
@@ -415,6 +308,7 @@ class VectorizedSlotExecutor(SlotExecutor):
                     check_rows = live_rows
                     cur = cur_live
                     switched = prev_live != cur
+                delay_of: dict[int, float] = {}
                 if switched.any():
                     switcher_rows = check_rows[switched]
                     delays = environment.switching_delays(
@@ -422,6 +316,10 @@ class VectorizedSlotExecutor(SlotExecutor):
                     )
                     delays2d[switcher_rows, slot_index] = delays
                     switches2d[switcher_rows, slot_index] = True
+                    if fallback:
+                        # Feed policies the full-precision delays, not the
+                        # recorder's (possibly float32) stored copies.
+                        delay_of = dict(zip(switcher_rows.tolist(), delays))
                 prev_live = cur_live
 
                 for kernel in epoch_kernels:
@@ -458,9 +356,7 @@ class VectorizedSlotExecutor(SlotExecutor):
                             bit_rate_mbps=float(rates_act[pos]),
                             gain=float(gains_act[pos]),
                             switched=switched_here,
-                            delay_s=float(delays2d[row, slot_index])
-                            if switched_here
-                            else 0.0,
+                            delay_s=delay_of.get(row, 0.0),
                             full_feedback=full_feedback,
                         ),
                     )

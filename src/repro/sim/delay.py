@@ -23,6 +23,15 @@ from repro.game.network import Network, NetworkType
 class DelayModel(ABC):
     """Samples the delay (seconds) incurred when switching to a network."""
 
+    #: True when :meth:`sample` never consumes the generator AND is a pure
+    #: function of the network (equal calls, equal delays).  The sharded
+    #: engine relies on both halves: it skips the per-slot switcher exchange
+    #: (no RNG replica can diverge) and resolves a slot's switchers through
+    #: a per-network delay table sampled once at run start.  A model whose
+    #: delays vary per call — via the generator or any internal state —
+    #: must leave this False.
+    stream_free: bool = False
+
     @abstractmethod
     def sample(self, network: Network, rng: np.random.Generator) -> float:
         """Delay in seconds for associating with ``network``."""
@@ -45,6 +54,8 @@ class DelayModel(ABC):
 class NoDelayModel(DelayModel):
     """Zero switching delay (used by unit tests and idealised runs)."""
 
+    stream_free = True
+
     def sample(self, network: Network, rng: np.random.Generator) -> float:
         return 0.0
 
@@ -55,6 +66,8 @@ class ConstantDelayModel(DelayModel):
 
     wifi_delay_s: float = 2.0
     cellular_delay_s: float = 3.0
+
+    stream_free = True
 
     def __post_init__(self) -> None:
         if self.wifi_delay_s < 0 or self.cellular_delay_s < 0:

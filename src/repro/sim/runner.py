@@ -3,25 +3,36 @@
 ``run_simulation`` performs a single run through a pluggable execution
 backend (see :mod:`repro.sim.backends`) and returns a
 :class:`repro.sim.metrics.SimulationResult`; ``run_many`` repeats it with
-different seeds — serially or on a process pool — which is how every
+independent seeds — serially or on a process pool — which is how every
 multi-run experiment of the paper is produced.
 
-Every backend is bit-exact: for a fixed seed, ``backend="event"`` and
-``backend="vectorized"`` return identical results, and a parallel
-``run_many`` returns exactly what the serial loop would.  Run ``i`` uses
-seed ``base_seed + i``; because each run derives all of its RNG streams
-(environment and per-device policies) from its own seed via
-``numpy.random.default_rng``, runs are independent regardless of which
-process executes them.
+Every backend is bit-exact: for a fixed seed, ``backend="event"``,
+``backend="vectorized"`` and ``backend="sharded"`` return identical
+results, and a parallel ``run_many`` returns exactly what the serial loop
+would.
+
+Seeding
+-------
+
+``run_many`` derives run ``i``'s RNG root as
+``numpy.random.SeedSequence(base_seed).spawn(runs)[i]`` — spawned child
+sequences are cryptographically separated, so streams never alias across
+``base_seed`` choices, run counts, worker counts or shard counts (the old
+``base_seed + i`` offsets made run 1 of ``base_seed=0`` identical to run 0
+of ``base_seed=1``).  The familiar ``base_seed + i`` integer is still
+recorded as :attr:`SimulationResult.seed` for provenance.  A direct
+``run_simulation(scenario, seed=k)`` keeps the historical integer-seeded
+streams (``default_rng(k)``).
 
 IPC contract of the parallel path
 ---------------------------------
 
 The run context — scenario, resolved executor instance, reducer and the
 probability-recording flag — is pickled **once per worker process** through
-the pool initializer, not once per job.  A job is a bare ``int`` seed, and
-seeds are dispatched in chunks (``chunksize``), so submitting 500 runs costs
-500 small integers over the pipe instead of 500 copies of the scenario.
+the pool initializer, not once per job.  A job is a bare ``int`` run index
+(the worker reconstructs the spawned seed locally), and indices are
+dispatched in chunks (``chunksize``), so submitting 500 runs costs 500
+small integers over the pipe instead of 500 copies of the scenario.
 Shipping the resolved executor (rather than the backend name) means custom
 backends registered via ``register_backend`` do not depend on the worker's
 freshly imported registry; on spawn/forkserver platforms this still requires
@@ -38,9 +49,11 @@ so peak memory in the parent stays O(one run) regardless of ``runs``.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from typing import Callable, Sequence
 
-from repro.sim.backends import DEFAULT_BACKEND, SlotExecutor, get_backend
+import numpy as np
+
+from repro.sim.backends import DEFAULT_BACKEND, RunSeed, SlotExecutor, get_backend
 from repro.sim.metrics import SimulationResult
 from repro.sim.scenario import Scenario
 
@@ -62,6 +75,41 @@ def run_simulation(
     )
 
 
+def _spawned_run_seed(base_seed: int, index: int) -> RunSeed:
+    """Run ``index``'s seed: the ``index``-th spawn of ``base_seed``'s root.
+
+    ``SeedSequence(entropy, spawn_key=(i,))`` is exactly what
+    ``SeedSequence(entropy).spawn(n)[i]`` constructs, so workers can build
+    their runs' seeds locally without the parent shipping sequence objects.
+    """
+    return RunSeed(
+        root=np.random.SeedSequence(entropy=base_seed, spawn_key=(index,)),
+        label=base_seed + index,
+    )
+
+
+def _map_payload(
+    executor: SlotExecutor,
+    scenario: Scenario,
+    seed,
+    reducer,
+    record_probabilities: bool,
+):
+    """One run's payload: the full result, or its reduction.
+
+    Executors that can reduce *inside* their execution (the sharded
+    backend's windowed in-shard reduction) expose ``map_reduced``; the
+    payload is identical to ``reducer.map(full_result)`` either way.
+    """
+    mapper = getattr(executor, "map_reduced", None)
+    if reducer is not None and mapper is not None:
+        return mapper(scenario, seed, reducer, record_probabilities)
+    result = executor.execute(
+        scenario, seed, record_probabilities=record_probabilities
+    )
+    return result if reducer is None else reducer.map(result)
+
+
 #: Per-worker run context, installed once per process by :func:`_init_worker`.
 _WORKER_CONTEXT: dict = {}
 
@@ -71,28 +119,26 @@ def _init_worker(
     executor: SlotExecutor,
     reducer,
     record_probabilities: bool,
+    base_seed: int,
 ) -> None:
     """Pool initializer: receive the run context once per worker process."""
     _WORKER_CONTEXT["scenario"] = scenario
     _WORKER_CONTEXT["executor"] = executor
     _WORKER_CONTEXT["reducer"] = reducer
     _WORKER_CONTEXT["record_probabilities"] = record_probabilities
+    _WORKER_CONTEXT["base_seed"] = base_seed
 
 
-def _run_seed(seed: int):
-    """Pool job: one run of the worker-resident scenario for ``seed``.
-
-    Returns the full result, or only the reducer payload when the context
-    carries a reducer (the full record never leaves the worker then).
-    """
+def _run_index(index: int):
+    """Pool job: one run of the worker-resident scenario for run ``index``."""
     context = _WORKER_CONTEXT
-    result = context["executor"].execute(
+    return _map_payload(
+        context["executor"],
         context["scenario"],
-        seed,
-        record_probabilities=context["record_probabilities"],
+        _spawned_run_seed(context["base_seed"], index),
+        context["reducer"],
+        context["record_probabilities"],
     )
-    reducer = context["reducer"]
-    return result if reducer is None else reducer.map(result)
 
 
 def _default_chunksize(runs: int, pool_width: int) -> int:
@@ -110,8 +156,10 @@ def run_many(
     reduce=None,
     chunksize: int | None = None,
     record_probabilities: bool | None = None,
+    shards: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ):
-    """Run ``scenario`` ``runs`` times with consecutive seeds.
+    """Run ``scenario`` ``runs`` times with independently spawned seeds.
 
     Parameters
     ----------
@@ -119,16 +167,19 @@ def run_many(
         Execution backend for every run (see :func:`repro.sim.backends.available_backends`).
     workers:
         ``None``, ``0`` or ``1`` runs serially in-process.  Any larger value
-        fans the runs out over a ``ProcessPoolExecutor`` with up to that many
-        workers; results come back in seed order and are bit-identical to a
-        serial run.
+        fans the *runs* out over a ``ProcessPoolExecutor`` with up to that
+        many workers; results come back in run order and are bit-identical
+        to a serial run.  With ``shards=`` set, the budget moves *inside*
+        each run instead: runs execute serially and ``workers`` becomes the
+        sharded backend's worker-process count.
     reduce:
         ``None`` returns the full per-run results as a list.  A
         :class:`~repro.analysis.reducers.Reducer` instance (or built-in
         reducer name, e.g. ``"summary"``) is applied to each run *where it
-        executes* — inside the pool worker, or between serial runs — and
+        executes* — inside the pool worker, inside the sharded engine's
+        shards (shard-capable reducers), or between serial runs — and
         ``run_many`` returns the reducer's finalized merge instead of a
-        list, keeping peak memory at O(one run).
+        list, keeping peak memory at O(one run) or below.
     chunksize:
         Seeds per pool dispatch (parallel path only).  Defaults to ~4 chunks
         per worker.
@@ -136,6 +187,14 @@ def run_many(
         Whether runs record the per-slot probability tensor.  Defaults to
         ``True`` for full results and to the reducer's
         ``needs_probabilities`` when reducing.
+    shards:
+        Shard the device population of every run into this many blocks
+        (requires ``backend="sharded"``; see :mod:`repro.sim.sharded`).
+    progress:
+        ``progress(done, total)`` is invoked after each completed run — in
+        run order (the parallel path yields results in submission order, so
+        a slow early run delays the callback even while later runs finish) —
+        making multi-minute experiments observable.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
@@ -143,6 +202,8 @@ def run_many(
         raise ValueError(f"workers must be >= 0, got {workers}")
     if chunksize is not None and chunksize < 1:
         raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    if shards is not None and shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
     # Imported lazily: repro.analysis modules import repro.sim.metrics, so a
     # top-level import here would be circular through repro.sim.__init__.
     from repro.analysis.reducers import resolve_reducer
@@ -154,18 +215,42 @@ def run_many(
         )
 
     executor = get_backend(backend)  # resolve (and validate) in the parent
-    seeds = range(base_seed, base_seed + runs)
+    pool_workers = workers
+    if shards is not None:
+        with_shards = getattr(executor, "with_shards", None)
+        if with_shards is None:
+            raise ValueError(
+                f"backend {backend!r} does not support shards=; "
+                "use backend='sharded'"
+            )
+        # The worker budget parallelizes within each sharded run; the run
+        # loop itself goes serial (nesting both pools would oversubscribe).
+        executor = with_shards(
+            shards, workers=workers if workers and workers > 1 else None
+        )
+        pool_workers = None
 
-    if workers is not None and workers > 1 and runs > 1:
-        pool_width = min(workers, runs)
+    indices = range(runs)
+    if pool_workers is not None and pool_workers > 1 and runs > 1:
+        pool_width = min(pool_workers, runs)
         if chunksize is None:
             chunksize = _default_chunksize(runs, pool_width)
         with ProcessPoolExecutor(
             max_workers=pool_width,
             initializer=_init_worker,
-            initargs=(scenario, executor, reducer, record_probabilities),
+            initargs=(
+                scenario,
+                executor,
+                reducer,
+                record_probabilities,
+                base_seed,
+            ),
         ) as pool:
-            payloads = list(pool.map(_run_seed, seeds, chunksize=chunksize))
+            payloads = []
+            for payload in pool.map(_run_index, indices, chunksize=chunksize):
+                payloads.append(payload)
+                if progress is not None:
+                    progress(len(payloads), runs)
         if reducer is None:
             return payloads
         merged = payloads[0]
@@ -174,22 +259,32 @@ def run_many(
         return reducer.finalize(merged)
 
     if reducer is None:
-        return [
-            executor.execute(
-                scenario, seed, record_probabilities=record_probabilities
+        results = []
+        for index in indices:
+            results.append(
+                executor.execute(
+                    scenario,
+                    _spawned_run_seed(base_seed, index),
+                    record_probabilities=record_probabilities,
+                )
             )
-            for seed in seeds
-        ]
+            if progress is not None:
+                progress(index + 1, runs)
+        return results
     # Serial streaming: each run is reduced before the next one is executed,
     # so only one full record is alive at any time.
     merged = None
-    for seed in seeds:
-        payload = reducer.map(
-            executor.execute(
-                scenario, seed, record_probabilities=record_probabilities
-            )
+    for index in indices:
+        payload = _map_payload(
+            executor,
+            scenario,
+            _spawned_run_seed(base_seed, index),
+            reducer,
+            record_probabilities,
         )
         merged = payload if merged is None else reducer.merge(merged, payload)
+        if progress is not None:
+            progress(index + 1, runs)
     return reducer.finalize(merged)
 
 
@@ -202,6 +297,7 @@ def run_policies(
     workers: int | None = None,
     reduce=None,
     chunksize: int | None = None,
+    shards: int | None = None,
 ) -> dict:
     """Run the same scenario once per policy name (all devices use that policy).
 
@@ -218,5 +314,6 @@ def run_policies(
             workers=workers,
             reduce=reduce,
             chunksize=chunksize,
+            shards=shards,
         )
     return results

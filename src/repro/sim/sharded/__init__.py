@@ -1,0 +1,46 @@
+"""Sharded population engine: device-axis sharding for million-device runs.
+
+The congestion game's structure makes the device axis embarrassingly
+shardable: per-device equal-share rates (and the Full Information
+counterfactuals) depend on the other devices only through the per-network
+occupancy vector, so ``K`` shards can run the full batched-kernel and
+churn machinery locally and synchronise with one ``(networks,)``-sized
+all-reduce per slot.
+
+Layers:
+
+* :mod:`repro.sim.sharded.plan` — :class:`ShardPlan` /
+  :class:`ShardSpec`: contiguous device→shard assignment with globally
+  derived per-device seed positions and policy ranks (results are
+  shard-count invariant), plus :class:`HomogeneousPopulation` for
+  generative megascale populations that never materialise in full.
+* :mod:`repro.sim.sharded.engine` — :class:`ShardEngine`: the per-shard
+  lockstep state machine (selection → occupancy → rates/feedback).
+* :mod:`repro.sim.sharded.bus` — :class:`SerialBus` (in-process
+  debugging/equivalence mode) and :class:`SharedMemoryBus` (double-banked
+  shared-memory rings + one barrier wait per exchange).
+* :mod:`repro.sim.sharded.executor` — :class:`ShardedSlotExecutor`, the
+  ``"sharded"`` backend: gather/stitch for full results, windowed in-shard
+  reduction for bounded-memory megascale runs.
+"""
+
+from repro.sim.sharded.bus import SerialBus, SharedMemoryBus
+from repro.sim.sharded.engine import ShardEngine
+from repro.sim.sharded.executor import ShardedSlotExecutor
+from repro.sim.sharded.plan import (
+    HomogeneousPopulation,
+    ShardPlan,
+    ShardSpec,
+    shard_boundaries,
+)
+
+__all__ = [
+    "HomogeneousPopulation",
+    "SerialBus",
+    "ShardEngine",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardedSlotExecutor",
+    "SharedMemoryBus",
+    "shard_boundaries",
+]

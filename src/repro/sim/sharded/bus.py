@@ -1,0 +1,107 @@
+"""Per-slot synchronisation buses for the sharded engine.
+
+The sharded run advances all shards in lockstep: once per slot every shard
+publishes its ``(networks,)`` occupancy vector and reads back the global sum
+(the all-reduce the congestion game's structure permits), and — only for
+stochastic delay models — a second exchange publishes the slot's switching
+devices so every worker can replay the global ascending-device-order delay
+draw on its own environment-RNG replica.
+
+Two implementations:
+
+* :class:`SerialBus` — the in-process ``workers=1`` mode: one driver owns
+  every shard, so both exchanges are identities.  This is the debugging and
+  bit-exactness-testing mode.
+* :class:`SharedMemoryBus` — the hot path: worker processes communicate
+  through two pre-allocated shared-memory rings (``multiprocessing.Array``
+  without locks) synchronised by one :class:`multiprocessing.Barrier` wait
+  per exchange.  Each ring is double-banked by slot parity: a slot writes
+  bank ``slot % 2`` and the earliest possible reuse of a bank sits two
+  barriers later, by which point every worker has read it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Barrier timeout: generous enough for a million-device slot on a loaded
+#: machine, finite so a crashed worker fails the run instead of hanging it.
+BARRIER_TIMEOUT_S = 600.0
+
+
+class SerialBus:
+    """Identity bus for the in-process lockstep driver (all shards local)."""
+
+    def reduce_counts(self, slot: int, local_counts: np.ndarray) -> np.ndarray:
+        return local_counts
+
+    def exchange_switchers(
+        self, slot: int, rows: np.ndarray, nets: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        return nets, 0
+
+
+class SharedMemoryBus:
+    """Shared-memory ring + barrier all-reduce between worker processes."""
+
+    def __init__(
+        self,
+        worker_index: int,
+        num_workers: int,
+        worker_device_offsets: list[int],
+        counts_view: np.ndarray,
+        switcher_view: np.ndarray | None,
+        switcher_counts_view: np.ndarray | None,
+        barrier,
+        timeout_s: float = BARRIER_TIMEOUT_S,
+    ) -> None:
+        self.worker_index = worker_index
+        self.num_workers = num_workers
+        #: Global device-row offset of each worker's first shard.
+        self.worker_device_offsets = worker_device_offsets
+        self.counts = counts_view  # (2, workers, networks) int64
+        self.switchers = switcher_view  # (2, total_devices, 2) int64 | None
+        self.switcher_counts = switcher_counts_view  # (2, workers) int64 | None
+        self.barrier = barrier
+        self.timeout_s = timeout_s
+
+    def reduce_counts(self, slot: int, local_counts: np.ndarray) -> np.ndarray:
+        bank = slot % 2
+        self.counts[bank, self.worker_index, :] = local_counts
+        self.barrier.wait(self.timeout_s)
+        return self.counts[bank].sum(axis=0)
+
+    def exchange_switchers(
+        self, slot: int, rows: np.ndarray, nets: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Publish this worker's switchers; read back the global list.
+
+        ``rows`` are global device rows in ascending order; worker slices
+        are disjoint ascending ranges, so concatenating per-worker segments
+        in worker order reproduces the global ascending-device order the
+        delay draw must follow.  Returns the global network-id sequence and
+        this worker's offset into it.
+        """
+        bank = slot % 2
+        count = int(rows.size)
+        self.switcher_counts[bank, self.worker_index] = count
+        lo = self.worker_device_offsets[self.worker_index]
+        if count:
+            self.switchers[bank, lo : lo + count, 0] = rows
+            self.switchers[bank, lo : lo + count, 1] = nets
+        self.barrier.wait(self.timeout_s)
+        counts = self.switcher_counts[bank]
+        segments = []
+        offset = 0
+        for worker in range(self.num_workers):
+            worker_count = int(counts[worker])
+            if worker < self.worker_index:
+                offset += worker_count
+            if worker_count:
+                worker_lo = self.worker_device_offsets[worker]
+                segments.append(
+                    self.switchers[bank, worker_lo : worker_lo + worker_count, 1]
+                )
+        if not segments:
+            return np.empty(0, dtype=np.int64), 0
+        return np.concatenate(segments), offset

@@ -1,0 +1,700 @@
+"""The sharded population executor.
+
+:class:`ShardedSlotExecutor` partitions a run's device population into
+``shards`` contiguous blocks (:mod:`repro.sim.sharded.plan`), executes each
+block with the existing batched kernels and churn machinery
+(:mod:`repro.sim.sharded.engine`), and synchronises the blocks once per slot
+with an all-reduce of the per-network occupancy vector
+(:mod:`repro.sim.sharded.bus`).  ``workers=1`` drives every shard in-process
+(serial lockstep — the debugging and bit-exactness mode); ``workers>1``
+spreads the shards over worker processes communicating through a
+shared-memory ring.
+
+Result assembly has two shapes:
+
+* :meth:`execute` — the standard backend contract: every shard's columnar
+  blocks are gathered and stitched into one full
+  :class:`~repro.sim.metrics.SimulationResult`, bit-exact against the
+  vectorized backend for any shard/worker count.  Appropriate for
+  populations whose blocks fit one process.
+* :meth:`map_reduced` — the megascale path: each shard applies a
+  shard-capable :class:`~repro.analysis.reducers.Reducer` to bounded slot
+  *windows* of its own blocks as the run advances, so no process ever holds
+  ``O(devices × slots)`` state; only kilobyte-to-megabyte shard summaries
+  are merged at the end.  Reducers that cannot reduce over a device
+  partition (e.g. stability, which needs the global mixed-strategy tensor)
+  transparently fall back to gather-then-map.
+
+Physics support: the closed-form equal-share gain model — exactly the class
+the vectorized backend's fast path covers.  Other gain models consume the
+environment RNG per network over the *global* association grouping, which a
+device-partitioned execution cannot replay without shipping every choice;
+such scenarios fall back to the vectorized backend (or raise with
+``strict=True``).  Delay models need no such restriction: stream-free models
+(:class:`~repro.sim.delay.NoDelayModel` / ``ConstantDelayModel``) sample
+shard-locally, and stochastic ones replay the global ascending-device-order
+draw on every worker's environment-RNG replica via the per-slot switcher
+exchange.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.game.gain import EqualShareModel
+from repro.sim.backends.base import SlotExecutor, derive_run_streams
+from repro.sim.backends.membership import equal_share_feedback
+from repro.sim.environment import WirelessEnvironment
+from repro.sim.metrics import SimulationResult
+from repro.sim.scenario import Scenario
+from repro.sim.sharded.bus import BARRIER_TIMEOUT_S, SerialBus, SharedMemoryBus
+from repro.sim.sharded.engine import ShardEngine
+from repro.sim.sharded.plan import (
+    HomogeneousPopulation,
+    ShardPlan,
+    shard_boundaries,
+)
+
+logger = logging.getLogger("repro.sim.sharded")
+
+#: Default slot-window width for the streaming (reduced) path.
+DEFAULT_WINDOW_SLOTS = 256
+
+
+@dataclass(frozen=True)
+class RunParams:
+    """Picklable per-run execution parameters shared by serial and workers."""
+
+    num_slots: int
+    environment_seed: int
+    seed_label: int
+    record_probabilities: bool
+    dtype: str
+    window: int | None
+    use_kernels: bool
+    coupled: bool
+    num_networks: int
+    total_devices: int
+    heartbeat_seconds: float | None
+
+
+def _run_group(
+    engines: list[ShardEngine],
+    bus,
+    delay_env: WirelessEnvironment,
+    params: RunParams,
+    reducer=None,
+    log_heartbeat: bool = False,
+):
+    """Drive a group of shard engines through every slot in lockstep.
+
+    Returns the per-engine payloads: full shard results (gather mode) or the
+    reducer's per-shard states (streaming mode, ``params.window`` set).
+    """
+    if reducer is not None:
+        from repro.analysis.reducers import ShardWindow  # lazy: import cycle
+
+    num_slots = params.num_slots
+    needs_feedback = any(engine.needs_feedback for engine in engines)
+    bandwidths = engines[0].bandwidths
+    scale_ref = engines[0].scale_ref
+    net_order = engines[0].net_ids
+    delay_table = None
+    if not params.coupled:
+        # Stream-free delay models are pure per-network constants: sample
+        # each network once (consuming nothing) and resolve a slot's
+        # switchers with one vectorized table lookup instead of a Python
+        # call per switching device — at megascale the early learning phase
+        # switches most of the population every slot.
+        delay_table = np.asarray(
+            [
+                delay_env.switching_delay(int(network_id))
+                for network_id in net_order
+            ],
+            dtype=float,
+        )
+    states: list = [None] * len(engines)
+    window = params.window
+    window_start = 0
+    group_devices = sum(len(engine.device_ids) for engine in engines)
+    started = time.monotonic()
+    last_beat = started
+
+    for slot in range(1, num_slots + 1):
+        local_counts = engines[0].begin(slot)
+        if len(engines) > 1:
+            local_counts = local_counts.copy()
+            for engine in engines[1:]:
+                local_counts += engine.begin(slot)
+        counts = bus.reduce_counts(slot, local_counts)
+
+        per_engine_switchers: list[int] = []
+        group_rows: list[np.ndarray] = []
+        group_nets: list[np.ndarray] = []
+        for engine in engines:
+            rows, nets = engine.observe(slot, counts)
+            per_engine_switchers.append(rows.size)
+            if rows.size:
+                group_rows.append(rows + engine.row_offset)
+                group_nets.append(nets)
+        rows_global = (
+            np.concatenate(group_rows)
+            if group_rows
+            else np.empty(0, dtype=np.intp)
+        )
+        nets_global = (
+            np.concatenate(group_nets)
+            if group_nets
+            else np.empty(0, dtype=np.int64)
+        )
+
+        if params.coupled:
+            # Stochastic delay model: every worker replays the *global*
+            # ascending-device-order draw on its own RNG replica, keeping
+            # the environment streams in lockstep across shard counts.
+            all_nets, offset = bus.exchange_switchers(
+                slot, rows_global, nets_global
+            )
+            if all_nets.size:
+                delays_all = np.asarray(
+                    delay_env.switching_delays(
+                        [int(net) for net in all_nets]
+                    ),
+                    dtype=float,
+                )
+                group_delays = delays_all[offset : offset + nets_global.size]
+            else:
+                group_delays = np.empty(0, dtype=float)
+        elif nets_global.size:
+            # Stream-free delay model: sampling consumes no RNG, so the
+            # group resolves its own switchers without any exchange.
+            group_delays = delay_table[
+                np.searchsorted(net_order, nets_global)
+            ]
+        else:
+            group_delays = np.empty(0, dtype=float)
+
+        member_gain = join_gain = None
+        if needs_feedback:
+            member_gain, join_gain = equal_share_feedback(
+                counts, bandwidths, scale_ref
+            )
+
+        position = 0
+        for engine, switcher_count in zip(engines, per_engine_switchers):
+            engine.complete(
+                slot,
+                group_delays[position : position + switcher_count],
+                member_gain,
+                join_gain,
+            )
+            position += switcher_count
+
+        if reducer is not None and (
+            slot - window_start == window or slot == num_slots
+        ):
+            width = slot - window_start
+            for index, engine in enumerate(engines):
+                shard_window = ShardWindow(
+                    result=engine.window_result(width),
+                    slot_start=window_start,
+                    total_slots=num_slots,
+                    seed=params.seed_label,
+                )
+                states[index] = reducer.shard_map(shard_window, states[index])
+                engine.reset_window(slot)
+            window_start = slot
+
+        if params.heartbeat_seconds is not None and log_heartbeat:
+            now = time.monotonic()
+            if now - last_beat >= params.heartbeat_seconds:
+                elapsed = now - started
+                logger.info(
+                    "sharded run: slot %d/%d (%.0f%%), "
+                    "%.2e device-slots/s in this group",
+                    slot,
+                    num_slots,
+                    100.0 * slot / num_slots,
+                    group_devices * slot / max(elapsed, 1e-9),
+                )
+                last_beat = now
+
+    for engine in engines:
+        engine.flush_policies()
+    if reducer is not None:
+        return states
+    return [engine.result() for engine in engines]
+
+
+def _stitch(
+    shard_results: list[SimulationResult], scenario_name: str
+) -> SimulationResult:
+    """Concatenate shard results (ascending device ranges) into one result."""
+    if len(shard_results) == 1:
+        return shard_results[0]
+    first = shard_results[0]
+    device_ids = tuple(
+        device_id for result in shard_results for device_id in result.device_ids
+    )
+    policy_names: dict = {}
+    resets: dict = {}
+    for result in shard_results:
+        policy_names.update(result.policy_names)
+        resets.update(result.resets)
+    return SimulationResult(
+        scenario_name=scenario_name,
+        seed=first.seed,
+        num_slots=first.num_slots,
+        slot_duration_s=first.slot_duration_s,
+        networks=first.networks,
+        device_ids=device_ids,
+        policy_names=policy_names,
+        choices_2d=np.concatenate([r.choices_2d for r in shard_results]),
+        rates_2d=np.concatenate([r.rates_2d for r in shard_results]),
+        delays_2d=np.concatenate([r.delays_2d for r in shard_results]),
+        switches_2d=np.concatenate([r.switches_2d for r in shard_results]),
+        active_2d=np.concatenate([r.active_2d for r in shard_results]),
+        probabilities_3d=(
+            np.concatenate([r.probabilities_3d for r in shard_results])
+            if first.probabilities_3d is not None
+            else None
+        ),
+        resets=resets,
+    )
+
+
+def _shard_worker(
+    worker_index: int,
+    num_workers: int,
+    worker_device_offsets: list[int],
+    specs: list,
+    seed_slices: list[np.ndarray],
+    params: RunParams,
+    reducer,
+    counts_array,
+    switcher_array,
+    switcher_counts_array,
+    barrier,
+    queue,
+) -> None:
+    """Worker-process entry point: drive one contiguous group of shards."""
+    import traceback
+
+    try:
+        counts_view = np.frombuffer(counts_array, dtype=np.int64).reshape(
+            2, num_workers, params.num_networks
+        )
+        switcher_view = switcher_counts_view = None
+        if switcher_array is not None:
+            switcher_view = np.frombuffer(
+                switcher_array, dtype=np.int64
+            ).reshape(2, params.total_devices, 2)
+            switcher_counts_view = np.frombuffer(
+                switcher_counts_array, dtype=np.int64
+            ).reshape(2, num_workers)
+        engines = [
+            ShardEngine(
+                spec,
+                seeds,
+                params.seed_label,
+                params.num_slots,
+                params.record_probabilities,
+                params.dtype,
+                params.window,
+                params.use_kernels,
+            )
+            for spec, seeds in zip(specs, seed_slices)
+        ]
+        delay_env = WirelessEnvironment(
+            engines[0].scenario,
+            np.random.default_rng(params.environment_seed),
+        )
+        bus = SharedMemoryBus(
+            worker_index,
+            num_workers,
+            worker_device_offsets,
+            counts_view,
+            switcher_view,
+            switcher_counts_view,
+            barrier,
+        )
+        payloads = _run_group(
+            engines,
+            bus,
+            delay_env,
+            params,
+            reducer,
+            log_heartbeat=worker_index == 0,
+        )
+        queue.put((worker_index, "ok", payloads))
+    except BaseException:
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+        queue.put((worker_index, "error", traceback.format_exc()))
+
+
+class ShardedSlotExecutor(SlotExecutor):
+    """Device-axis sharded execution with a per-slot occupancy all-reduce.
+
+    Parameters
+    ----------
+    shards:
+        Number of device blocks (clamped to the population size).
+    workers:
+        ``1`` drives every shard in-process (serial lockstep); larger values
+        spread the shards over that many processes synchronised through a
+        shared-memory ring.  Results are bit-identical either way.
+    dtype:
+        Recorder precision for the floating-point blocks (``"float32"``
+        halves per-shard RSS; dynamics are dtype-independent).
+    window_slots:
+        Slot-window width of the streaming reduced path
+        (:meth:`map_reduced`); bounds per-shard recorder memory at
+        ``O(devices/shards × window_slots)``.
+    strict:
+        Raise instead of falling back to the vectorized backend when the
+        scenario's gain model is outside the shardable (equal-share) class.
+    heartbeat_seconds:
+        Emit a progress log line (logger ``repro.sim.sharded``) roughly this
+        often during a run; ``None`` disables.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: int = 2,
+        workers: int = 1,
+        dtype: str = "float64",
+        window_slots: int = DEFAULT_WINDOW_SLOTS,
+        use_kernels: bool = True,
+        strict: bool = False,
+        heartbeat_seconds: float | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if window_slots < 1:
+            raise ValueError(f"window_slots must be >= 1, got {window_slots}")
+        self.shards = shards
+        self.workers = workers
+        self.dtype = dtype
+        self.window_slots = window_slots
+        self.use_kernels = use_kernels
+        self.strict = strict
+        self.heartbeat_seconds = heartbeat_seconds
+
+    def with_shards(
+        self, shards: int, workers: int | None = None
+    ) -> "ShardedSlotExecutor":
+        """A copy configured for ``shards`` blocks (and optionally workers)."""
+        return ShardedSlotExecutor(
+            shards=shards,
+            workers=self.workers if workers is None else workers,
+            dtype=self.dtype,
+            window_slots=self.window_slots,
+            use_kernels=self.use_kernels,
+            strict=self.strict,
+            heartbeat_seconds=self.heartbeat_seconds,
+        )
+
+    # ----------------------------------------------------------- capability
+
+    @staticmethod
+    def supports_scenario(scenario: Scenario) -> bool:
+        """Whether the scenario's physics is shardable.
+
+        Equal-share rates depend on peers only through the per-network
+        occupancy counts — the quantity the all-reduce exchanges.  Any other
+        gain model consumes the environment RNG over the global association
+        grouping, which sharded execution cannot replay.
+        """
+        return type(scenario.gain_model) is EqualShareModel
+
+    def _unsupported(self, scenario: Scenario):
+        if self.strict:
+            raise ValueError(
+                f"backend 'sharded' cannot execute scenario "
+                f"{scenario.name!r}: gain model "
+                f"{type(scenario.gain_model).__name__} requires the global "
+                "association grouping (only the equal-share model is "
+                "shardable); use the vectorized backend or strict=False"
+            )
+        from repro.sim.backends.vectorized import VectorizedSlotExecutor
+
+        return VectorizedSlotExecutor(use_kernels=self.use_kernels)
+
+    # ------------------------------------------------------------ execution
+
+    def execute(
+        self,
+        scenario: Scenario,
+        seed=0,
+        record_probabilities: bool = True,
+    ) -> SimulationResult:
+        """One run, shards gathered and stitched into the full result."""
+        if not self.supports_scenario(scenario):
+            return self._unsupported(scenario).execute(
+                scenario, seed, record_probabilities
+            )
+        plan = ShardPlan.from_scenario(scenario, self.shards)
+        shard_results = self._execute_plan(
+            plan,
+            seed,
+            reducer=None,
+            record_probabilities=record_probabilities,
+            window=None,
+        )
+        return _stitch(shard_results, scenario.name)
+
+    def map_reduced(
+        self,
+        scenario: Scenario,
+        seed,
+        reducer,
+        record_probabilities: bool | None = None,
+    ):
+        """One run reduced to ``reducer.map``'s payload, in-shard if possible.
+
+        Shard-capable reducers stream over bounded slot windows inside each
+        shard (no process ever holds the full blocks); others fall back to
+        gather-then-map.  Either way the returned payload is exactly what
+        ``reducer.map(full_result)`` would produce (up to float summation
+        order), so ``run_many``'s merge/finalize machinery is unaffected.
+        """
+        if reducer.shard_capable() and self.supports_scenario(scenario):
+            plan = ShardPlan.from_scenario(scenario, self.shards)
+            return self._reduce_plan(plan, seed, reducer)
+        wants_probabilities = (
+            reducer.needs_probabilities
+            if record_probabilities is None
+            else record_probabilities
+        )
+        return reducer.map(
+            self.execute(scenario, seed, record_probabilities=wants_probabilities)
+        )
+
+    def execute_population(
+        self, population: HomogeneousPopulation, seed, reducer
+    ):
+        """A generative-population run on the streaming reduced path.
+
+        The full device list never materialises in any process — each shard
+        builds its own slice from the population factory.  Requires a
+        shard-capable reducer (there is no gather fallback at this scale).
+        """
+        if not reducer.shard_capable():
+            raise ValueError(
+                f"reducer {type(reducer).__name__} cannot reduce over a "
+                "device partition; megascale populations require a "
+                "shard-capable reducer (summary/downloads/timeseries)"
+            )
+        plan = ShardPlan.from_population(population, self.shards)
+        return self._reduce_plan(plan, seed, reducer)
+
+    # ------------------------------------------------------------- internals
+
+    def _reduce_plan(self, plan: ShardPlan, seed, reducer):
+        num_slots = self._plan_slots(plan)
+        window = min(self.window_slots, num_slots)
+        shard_states = self._execute_plan(
+            plan,
+            seed,
+            reducer=reducer,
+            record_probabilities=False,
+            window=window,
+        )
+        merged = shard_states[0]
+        for state in shard_states[1:]:
+            merged = reducer.shard_merge(merged, state)
+        return reducer.shard_finalize(merged)
+
+    @staticmethod
+    def _plan_slots(plan: ShardPlan) -> int:
+        spec = plan.specs[0]
+        if spec.scenario is not None:
+            return spec.scenario.horizon_slots
+        return spec.population.horizon_slots
+
+    @staticmethod
+    def _delay_coupled(plan: ShardPlan) -> bool:
+        spec = plan.specs[0]
+        model = (
+            spec.scenario.delay_model
+            if spec.scenario is not None
+            else spec.population.delay_model
+        )
+        return not getattr(model, "stream_free", False)
+
+    def _execute_plan(
+        self,
+        plan: ShardPlan,
+        seed,
+        reducer,
+        record_probabilities: bool,
+        window: int | None,
+    ) -> list:
+        environment_seed, policy_seeds, label = derive_run_streams(
+            seed, plan.num_devices
+        )
+        num_slots = self._plan_slots(plan)
+        first_spec = plan.specs[0]
+        num_networks = (
+            len(first_spec.scenario.networks)
+            if first_spec.scenario is not None
+            else len(first_spec.population.bandwidths)
+        )
+        params = RunParams(
+            num_slots=num_slots,
+            environment_seed=environment_seed,
+            seed_label=label,
+            record_probabilities=record_probabilities,
+            dtype=self.dtype,
+            window=window,
+            use_kernels=self.use_kernels,
+            coupled=self._delay_coupled(plan),
+            num_networks=num_networks,
+            total_devices=plan.num_devices,
+            heartbeat_seconds=self.heartbeat_seconds,
+        )
+        seed_slices = [
+            policy_seeds[spec.seed_positions] for spec in plan.specs
+        ]
+
+        workers = min(self.workers, plan.shards)
+        if workers <= 1:
+            engines = [
+                ShardEngine(
+                    spec,
+                    seeds,
+                    label,
+                    num_slots,
+                    record_probabilities,
+                    self.dtype,
+                    window,
+                    self.use_kernels,
+                )
+                for spec, seeds in zip(plan.specs, seed_slices)
+            ]
+            delay_env = WirelessEnvironment(
+                engines[0].scenario, np.random.default_rng(environment_seed)
+            )
+            return _run_group(
+                engines,
+                SerialBus(),
+                delay_env,
+                params,
+                reducer,
+                log_heartbeat=True,
+            )
+        return self._execute_parallel(
+            plan, params, seed_slices, reducer, workers
+        )
+
+    def _execute_parallel(
+        self,
+        plan: ShardPlan,
+        params: RunParams,
+        seed_slices: list[np.ndarray],
+        reducer,
+        workers: int,
+    ) -> list:
+        import multiprocessing as mp
+
+        ctx = mp.get_context()
+        # Contiguous shard groups per worker, preserving ascending device
+        # ranges (the switcher exchange relies on worker-order concatenation
+        # being globally sorted).
+        groups = shard_boundaries(plan.shards, workers)
+        worker_device_offsets = [
+            plan.specs[group_lo].lo for group_lo, _ in groups
+        ]
+
+        counts_array = ctx.RawArray("q", 2 * workers * params.num_networks)
+        switcher_array = switcher_counts_array = None
+        if params.coupled:
+            switcher_array = ctx.RawArray("q", 2 * params.total_devices * 2)
+            switcher_counts_array = ctx.RawArray("q", 2 * workers)
+        barrier = ctx.Barrier(workers)
+        queue = ctx.Queue()
+
+        processes = []
+        for index, (group_lo, group_hi) in enumerate(groups):
+            processes.append(
+                ctx.Process(
+                    target=_shard_worker,
+                    args=(
+                        index,
+                        workers,
+                        worker_device_offsets,
+                        list(plan.specs[group_lo:group_hi]),
+                        seed_slices[group_lo:group_hi],
+                        params,
+                        reducer,
+                        counts_array,
+                        switcher_array,
+                        switcher_counts_array,
+                        barrier,
+                        queue,
+                    ),
+                    daemon=True,
+                )
+            )
+        for process in processes:
+            process.start()
+
+        payloads_by_worker: dict[int, list] = {}
+        error: str | None = None
+        try:
+            import queue as queue_module
+
+            # Workers report once, at the end of the run, which can be
+            # arbitrarily far away (a megascale run is tens of minutes) —
+            # so poll with a short timeout and keep waiting for as long as
+            # every worker is alive.  A worker that dies without reporting
+            # (OOM-kill, segfault) fails the run promptly instead; workers
+            # that lose a *peer* fail themselves via the barrier timeout.
+            while len(payloads_by_worker) < workers and error is None:
+                try:
+                    worker_index, status, payload = queue.get(timeout=15.0)
+                except queue_module.Empty:
+                    dead = [
+                        p.pid for p in processes if p.exitcode not in (None, 0)
+                    ]
+                    if dead:
+                        error = (
+                            f"worker process(es) {dead} exited without "
+                            "reporting a result"
+                        )
+                    continue
+                if status == "ok":
+                    payloads_by_worker[worker_index] = payload
+                elif error is None:
+                    error = payload
+        finally:
+            if error is not None:
+                # Unblock any worker parked at the barrier, then stop them.
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+                for process in processes:
+                    process.join(timeout=5.0)
+                for process in processes:
+                    if process.is_alive():
+                        process.terminate()
+            for process in processes:
+                process.join(timeout=BARRIER_TIMEOUT_S)
+        if error is not None:
+            raise RuntimeError(f"sharded worker failed:\n{error}")
+        ordered: list = []
+        for index in range(workers):
+            ordered.extend(payloads_by_worker[index])
+        return ordered
