@@ -45,9 +45,22 @@ Four suites, selected with ``--suite``:
     workers.  The speedup must clear ``--floor`` (default 3x) — applicable
     only on machines with >= 4 cores (single-core hosts document the
     lockstep overhead instead; CI enforces the floor on its 4-vCPU
-    runners).  ``--attach-megascale`` embeds a payload produced by
+    runners).  A third leg re-runs the sharded side with checkpointing at a
+    100-slot cadence and records the relative overhead, which must stay
+    under 15% (``checkpoint_overhead_floor``).  ``--attach-megascale``
+    embeds a payload produced by
     ``python -m repro.experiments.megascale --json ...`` so the tracked
     ``BENCH_sharded_population.json`` also records the million-device run.
+
+``faults``
+    Fault-injection smoke: a sharded multiprocess run is hard-killed via
+    :class:`~repro.sim.sharded.FaultPlan`, auto-recovered from its last
+    checkpoint, and the recovered reducer payload must be byte-identical
+    to an unfaulted run; a corrupted checkpoint must be refused with
+    :class:`~repro.sim.sharded.CheckpointError`; a stalled worker must
+    surface :class:`~repro.sim.sharded.ShardFailureError` within the
+    barrier timeout instead of hanging.  All three checks must pass
+    (``meets_floor``).  Tracked by the CI fault-injection smoke job.
 
 Usage::
 
@@ -66,6 +79,8 @@ Usage::
         --suite shard --devices 100000 --slots 100 \
         --attach-megascale megascale_1m.json \
         --json BENCH_sharded_population.json
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
+        --suite faults --devices 2000 --slots 60 --workers 2
 """
 
 from __future__ import annotations
@@ -485,6 +500,10 @@ SHARD_HORIZON_SLOTS = 100
 #: the parallel path cannot beat the serial one on fewer cores).
 SHARD_SPEEDUP_FLOOR = 3.0
 SHARD_FLOOR_MIN_CPUS = 4
+#: Checkpoint cadence measured by the shard suite, and the allowed relative
+#: slowdown of the checkpointing run vs. the same run without durability.
+SHARD_CHECKPOINT_EVERY = 100
+SHARD_CHECKPOINT_OVERHEAD_FLOOR = 0.15
 
 
 def run_shard_benchmark(
@@ -509,8 +528,14 @@ def run_shard_benchmark(
     vectorized leg (which materialises the full columnar record) would
     only ever report the vectorized footprint.
     """
+    import tempfile
+
     from repro.analysis.reducers import SummaryReducer
-    from repro.sim.sharded import HomogeneousPopulation, ShardedSlotExecutor
+    from repro.sim.sharded import (
+        CheckpointConfig,
+        HomogeneousPopulation,
+        ShardedSlotExecutor,
+    )
 
     cpus = os.cpu_count() or 1
     if workers is None:
@@ -542,6 +567,24 @@ def run_shard_benchmark(
     except ImportError:
         worker_peak = None
 
+    # Same sharded run with durability on: periodic checkpoints at the
+    # documented cadence (the horizon's final slot always checkpoints, so a
+    # 100-slot run at a 100-slot cadence measures exactly one snapshot).
+    with tempfile.TemporaryDirectory(prefix="shard_bench_ckpt_") as ckpt_dir:
+
+        def _checkpointed():
+            durable = executor.with_durability(
+                checkpoint=CheckpointConfig(
+                    every_slots=SHARD_CHECKPOINT_EVERY, dir=ckpt_dir
+                )
+            )
+            return durable.execute_population(population, 0, reducer)
+
+        checkpointed_seconds = _best_seconds(_checkpointed, repeats)
+    checkpoint_overhead = (
+        checkpointed_seconds - sharded_seconds
+    ) / sharded_seconds
+
     vectorized_seconds = _best_seconds(
         lambda: reducer.map(
             run_simulation(
@@ -568,6 +611,16 @@ def run_shard_benchmark(
             "worker_peak_rss_bytes": worker_peak,
         },
         {
+            "backend": (
+                f"sharded + checkpoint every {SHARD_CHECKPOINT_EVERY} slots"
+            ),
+            "mode": "in-shard windowed reduce=summary, durable",
+            "seconds": checkpointed_seconds,
+            "devices_per_second": num_devices / checkpointed_seconds,
+            "device_slots_per_second": device_slots / checkpointed_seconds,
+            "checkpoint_overhead": checkpoint_overhead,
+        },
+        {
             "backend": "vectorized",
             "mode": "single process, reduce=summary",
             "seconds": vectorized_seconds,
@@ -591,7 +644,16 @@ def run_shard_benchmark(
             "sharded_speedup": speedup,
             "floor": floor,
             "floor_applicable": floor_applicable,
-            "meets_floor": speedup >= floor if floor_applicable else True,
+            "checkpoint_overhead": checkpoint_overhead,
+            "checkpoint_every_slots": SHARD_CHECKPOINT_EVERY,
+            "checkpoint_overhead_floor": SHARD_CHECKPOINT_OVERHEAD_FLOOR,
+            "checkpoint_overhead_ok": (
+                checkpoint_overhead <= SHARD_CHECKPOINT_OVERHEAD_FLOOR
+            ),
+            "meets_floor": (
+                (speedup >= floor if floor_applicable else True)
+                and checkpoint_overhead <= SHARD_CHECKPOINT_OVERHEAD_FLOOR
+            ),
         },
     }
     if megascale_payload is not None:
@@ -615,13 +677,19 @@ def format_shard_report(payload: dict) -> str:
     headline = payload["headline"]
     floor_note = (
         f"(floor {headline['floor']:.1f}x, "
-        f"{'met' if headline['meets_floor'] else 'NOT met'})"
+        f"{'met' if headline['sharded_speedup'] >= headline['floor'] else 'NOT met'})"
         if headline["floor_applicable"]
         else f"(floor not applicable on {payload['cpu_count']} core(s))"
     )
     lines.append(
         f"Headline: sharded {headline['sharded_speedup']:.2f}x vs "
         f"vectorized {floor_note}"
+    )
+    lines.append(
+        f"Checkpoint overhead (every {headline['checkpoint_every_slots']} "
+        f"slots): {100 * headline['checkpoint_overhead']:.1f}% "
+        f"(floor {100 * headline['checkpoint_overhead_floor']:.0f}%, "
+        f"{'met' if headline['checkpoint_overhead_ok'] else 'NOT met'})"
     )
     if "megascale" in payload:
         mega = payload["megascale"]
@@ -632,6 +700,185 @@ def format_shard_report(payload: dict) -> str:
             f"{mega['perf']['device_slots_per_second']:,.0f} dev-slots/s, "
             f"peak rss {mega['perf']['peak_rss_bytes'] / 1e9:.2f} GB"
         )
+    return "\n".join(lines)
+
+
+#: Faults-suite defaults: a small but genuinely multiprocess sharded run.
+FAULTS_NUM_DEVICES = 2000
+FAULTS_HORIZON_SLOTS = 60
+FAULTS_WORKERS = 2
+
+
+def run_faults_benchmark(
+    num_devices: int = FAULTS_NUM_DEVICES,
+    horizon: int = FAULTS_HORIZON_SLOTS,
+    workers: int = FAULTS_WORKERS,
+) -> dict:
+    """Fault-injection smoke: kill/recover, refuse corruption, bound hangs."""
+    import pickle as pickle_module
+    import tempfile
+
+    from repro.analysis.reducers import SummaryReducer
+    from repro.sim.sharded import (
+        CheckpointConfig,
+        CheckpointError,
+        CorruptCheckpoint,
+        DelayExchange,
+        FaultPlan,
+        HomogeneousPopulation,
+        KillWorker,
+        ShardFailureError,
+        ShardedSlotExecutor,
+        SupervisionConfig,
+    )
+
+    shards = max(2, workers)
+    every = max(1, horizon // 4)
+    kill_slot = max(2, (2 * horizon) // 3)
+    population = HomogeneousPopulation(
+        num_devices=num_devices,
+        policy="exp3",
+        horizon_slots=horizon,
+        name=f"faults_bench_d{num_devices}",
+    )
+    reducer = SummaryReducer()
+    supervision = SupervisionConfig(
+        barrier_timeout_s=60.0, backoff_s=0.05, poll_interval_s=0.2
+    )
+
+    start = time.perf_counter()
+    reference = ShardedSlotExecutor(
+        shards=shards, workers=workers, dtype="float32", window_slots=32
+    ).execute_population(population, 0, reducer)
+    clean_seconds = time.perf_counter() - start
+
+    # Leg 1: hard-kill a worker mid-run; supervision must restart from the
+    # last checkpoint and the recovered payload must be byte-identical.
+    with tempfile.TemporaryDirectory(prefix="faults_bench_") as tmp:
+        executor = ShardedSlotExecutor(
+            shards=shards,
+            workers=workers,
+            dtype="float32",
+            window_slots=32,
+            checkpoint=CheckpointConfig(every_slots=every, dir=tmp),
+            fault_plan=FaultPlan(
+                (KillWorker(worker=workers - 1, slot=kill_slot, hard=True),)
+            ),
+            supervision=supervision,
+        )
+        start = time.perf_counter()
+        recovered = executor.execute_population(population, 0, reducer)
+        recovery_seconds = time.perf_counter() - start
+    recovery_ok = pickle_module.dumps(reference) == pickle_module.dumps(
+        recovered
+    )
+
+    # Leg 2: a corrupted checkpoint must be refused on resume, never
+    # silently restored.
+    corruption_ok = False
+    with tempfile.TemporaryDirectory(prefix="faults_bench_") as tmp:
+        dying = ShardedSlotExecutor(
+            shards=shards,
+            workers=1,
+            dtype="float32",
+            window_slots=32,
+            checkpoint=CheckpointConfig(every_slots=every, dir=tmp),
+            fault_plan=FaultPlan(
+                (
+                    CorruptCheckpoint(slot=every, shard=0),
+                    KillWorker(worker=0, slot=min(every + 1, horizon)),
+                )
+            ),
+            supervision=SupervisionConfig(max_restarts=0, backoff_s=0.05),
+        )
+        try:
+            dying.execute_population(population, 0, reducer)
+        except ShardFailureError:
+            pass
+        try:
+            ShardedSlotExecutor(
+                shards=shards, workers=1, dtype="float32", window_slots=32,
+                resume_from=tmp,
+            ).execute_population(population, 0, reducer)
+        except CheckpointError as exc:
+            corruption_ok = "corrupt" in str(exc)
+
+    # Leg 3: a stalled worker must fail the run within the barrier timeout
+    # with per-worker diagnostics — never an indefinite hang.
+    timeout_ok = False
+    start = time.perf_counter()
+    try:
+        ShardedSlotExecutor(
+            shards=shards,
+            workers=workers,
+            dtype="float32",
+            window_slots=32,
+            fault_plan=FaultPlan(
+                (DelayExchange(worker=0, slot=5, seconds=30.0),)
+            ),
+            supervision=SupervisionConfig(
+                barrier_timeout_s=2.0, backoff_s=0.05, poll_interval_s=0.2
+            ),
+        ).execute_population(population, 0, reducer)
+    except ShardFailureError as exc:
+        timeout_ok = "slot 5" in str(exc)
+    detection_seconds = time.perf_counter() - start
+
+    return {
+        "suite": "faults",
+        "scenario": (
+            f"uniform population ({num_devices} devices, {horizon} slots, "
+            f"exp3, shards={shards}, workers={workers})"
+        ),
+        "cpu_count": os.cpu_count(),
+        "rows": [
+            {
+                "check": "hard-kill worker, restart from checkpoint",
+                "clean_seconds": clean_seconds,
+                "recovery_seconds": recovery_seconds,
+                "byte_identical": recovery_ok,
+            },
+            {
+                "check": "corrupted checkpoint refused on resume",
+                "refused": corruption_ok,
+            },
+            {
+                "check": "hung worker detected within barrier timeout",
+                "detection_seconds": detection_seconds,
+                "surfaced": timeout_ok,
+            },
+        ],
+        "headline": {
+            "recovery_byte_identical": recovery_ok,
+            "corruption_refused": corruption_ok,
+            "hang_detected": timeout_ok,
+            "meets_floor": recovery_ok and corruption_ok and timeout_ok,
+        },
+    }
+
+
+def format_faults_report(payload: dict) -> str:
+    lines = [f"Fault-injection smoke on {payload['scenario']}:"]
+    for row in payload["rows"]:
+        verdict = row.get(
+            "byte_identical", row.get("refused", row.get("surfaced"))
+        )
+        timing = ""
+        if "recovery_seconds" in row:
+            timing = (
+                f" (clean {row['clean_seconds']:.2f}s, with kill+recovery "
+                f"{row['recovery_seconds']:.2f}s)"
+            )
+        elif "detection_seconds" in row:
+            timing = f" (detected in {row['detection_seconds']:.2f}s)"
+        lines.append(
+            f"  {row['check']:<48} {'ok' if verdict else 'FAILED'}{timing}"
+        )
+    headline = payload["headline"]
+    lines.append(
+        "Headline: "
+        f"{'all checks passed' if headline['meets_floor'] else 'CHECKS FAILED'}"
+    )
     return "\n".join(lines)
 
 
@@ -737,14 +984,16 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("backend", "kernels", "results", "churn", "shard"),
+        choices=("backend", "kernels", "results", "churn", "shard", "faults"),
         default="backend",
         help=(
             "backend: event vs vectorized; kernels: scalar vs batched kernels; "
             "results: columnar result path (streaming-reduction RSS + "
             "construction floors); churn: event vs vectorized on per-slot "
             "topology churn; shard: sharded population engine vs vectorized "
-            "at 100k devices"
+            "at 100k devices (plus checkpoint-overhead floor); faults: "
+            "fault-injection smoke (kill/recover byte-identical, corruption "
+            "refused, hangs bounded)"
         ),
     )
     parser.add_argument("--policies", nargs="+", default=None)
@@ -864,6 +1113,24 @@ def main(argv=None) -> int:
             megascale_payload=megascale_payload,
         )
         print(format_shard_report(payload))
+    elif args.suite == "faults":
+        for flag, value in (
+            ("--policies", args.policies),
+            ("--runs", args.runs),
+            ("--repeats", args.repeats),
+            ("--floor", args.floor),
+            ("--rss-factor", args.rss_factor),
+        ):
+            if value is not None:
+                parser.error(f"{flag} does not apply to --suite faults")
+        payload = run_faults_benchmark(
+            num_devices=(
+                args.devices if args.devices is not None else FAULTS_NUM_DEVICES
+            ),
+            horizon=args.slots if args.slots is not None else FAULTS_HORIZON_SLOTS,
+            workers=args.workers if args.workers is not None else FAULTS_WORKERS,
+        )
+        print(format_faults_report(payload))
     elif args.suite == "results":
         for flag, value in (
             ("--workers", args.workers),

@@ -75,6 +75,16 @@ class ExperimentConfig:
         Device-axis shard count per run; requires ``backend="sharded"``
         (see :mod:`repro.sim.sharded`).  ``None`` leaves the backend's
         default configuration.
+    checkpoint:
+        A :class:`~repro.sim.sharded.CheckpointConfig` enabling periodic
+        shard-state snapshots of every run (requires ``shards``); with
+        ``runs > 1`` each run checkpoints into its own ``run_<index>``
+        subdirectory.  ``None`` (default) disables durability.
+    resume_from:
+        A checkpoint directory written by a previous, interrupted
+        invocation of the *same* experiment configuration (requires
+        ``shards``); resumed results are bit-identical to an
+        uninterrupted run.
     """
 
     runs: int = 5
@@ -84,6 +94,8 @@ class ExperimentConfig:
     workers: int | None = None
     chunksize: int | None = None
     shards: int | None = None
+    checkpoint: object | None = None
+    resume_from: str | None = None
 
     def __post_init__(self) -> None:
         if self.runs < 1:
@@ -107,6 +119,19 @@ class ExperimentConfig:
                     "shards= requires backend='sharded', "
                     f"got backend={self.backend!r}"
                 )
+            if self.workers is not None and self.workers > self.shards:
+                raise ValueError(
+                    f"workers={self.workers} exceeds shards={self.shards}: "
+                    "each worker process drives at least one whole shard — "
+                    f"use workers<={self.shards} or raise shards="
+                )
+        if (
+            self.checkpoint is not None or self.resume_from is not None
+        ) and self.shards is None:
+            raise ValueError(
+                "checkpoint/resume_from require shards= (durability is "
+                "implemented by the sharded backend)"
+            )
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -155,6 +180,8 @@ def run_with_config(scenario: Scenario, config: ExperimentConfig, reduce=None):
         reduce=reduce,
         chunksize=config.chunksize,
         shards=config.shards,
+        checkpoint=config.checkpoint,
+        resume_from=config.resume_from,
     )
 
 

@@ -29,7 +29,11 @@ import time
 
 from repro.analysis.reducers import SummaryReducer
 from repro.experiments.common import ExperimentConfig
-from repro.sim.sharded import HomogeneousPopulation, ShardedSlotExecutor
+from repro.sim.sharded import (
+    CheckpointConfig,
+    HomogeneousPopulation,
+    ShardedSlotExecutor,
+)
 
 #: Scaled-down defaults (the full-scale acceptance run is CLI-driven).
 DEFAULT_DEVICES = 5000
@@ -60,6 +64,8 @@ def run(
     window_slots: int = 256,
     seed: int = 0,
     heartbeat_seconds: float | None = 30.0,
+    checkpoint: CheckpointConfig | None = None,
+    resume_from: str | None = None,
 ) -> dict:
     """One megascale population run, summarised through the shard reducer.
 
@@ -67,6 +73,11 @@ def run(
     ``min(cpu_count, 8)`` shards driven by one worker process per shard
     when the machine has the cores (``workers=1`` falls back to the serial
     in-process lockstep, which is the bit-exact debugging mode).
+
+    ``checkpoint`` enables periodic shard-state snapshots — a multi-hour
+    million-device run survives worker crashes and machine restarts —
+    and ``resume_from`` continues an interrupted run bit-exact from its
+    last committed checkpoint (see ``README.md`` § Fault tolerance).
     """
     config = config or ExperimentConfig(runs=1, horizon_slots=None)
     slots = horizon_slots or config.horizon_slots or DEFAULT_SLOTS
@@ -90,6 +101,8 @@ def run(
         dtype=dtype,
         window_slots=window_slots,
         heartbeat_seconds=heartbeat_seconds,
+        checkpoint=checkpoint,
+        resume_from=resume_from,
     )
     reducer = SummaryReducer()
 
@@ -115,6 +128,10 @@ def run(
             "dtype": dtype,
             "window_slots": window_slots,
             "cpu_count": cpus,
+            "checkpoint_every_slots": (
+                checkpoint.every_slots if checkpoint is not None else None
+            ),
+            "resumed_from": resume_from,
         },
         "perf": {
             "seconds": seconds,
@@ -144,6 +161,29 @@ def main(argv=None) -> int:
     parser.add_argument("--window", type=int, default=256)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--heartbeat", type=float, default=30.0)
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="enable periodic checkpoints into this directory",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=100,
+        help="checkpoint cadence in slots (with --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--keep",
+        type=int,
+        default=2,
+        help="committed checkpoints to retain (with --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume bit-exact from the last committed checkpoint in DIR",
+    )
     parser.add_argument("--json", default=None, help="write the payload here")
     args = parser.parse_args(argv)
 
@@ -160,6 +200,16 @@ def main(argv=None) -> int:
         window_slots=args.window,
         seed=args.seed,
         heartbeat_seconds=args.heartbeat,
+        checkpoint=(
+            CheckpointConfig(
+                every_slots=args.checkpoint_every,
+                dir=args.checkpoint_dir,
+                keep=args.keep,
+            )
+            if args.checkpoint_dir
+            else None
+        ),
+        resume_from=args.resume,
     )
     text = json.dumps(payload, indent=2)
     print(text)

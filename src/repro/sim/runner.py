@@ -49,6 +49,7 @@ so peak memory in the parent stays O(one run) regardless of ``runs``.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -147,6 +148,43 @@ def _default_chunksize(runs: int, pool_width: int) -> int:
     return chunksize + 1 if extra else max(chunksize, 1)
 
 
+def _durable_executor(
+    executor: SlotExecutor,
+    checkpoint,
+    resume_from,
+    runs: int,
+    index: int,
+) -> SlotExecutor:
+    """The executor for run ``index``, with per-run durability wired in.
+
+    Multi-run experiments checkpoint each run into its own ``run_<index>``
+    subdirectory; on resume, runs whose subdirectory holds no committed
+    checkpoint simply start fresh (they may never have begun before the
+    interruption), while a single-run resume of a missing checkpoint fails
+    loudly inside the executor.
+    """
+    if checkpoint is None and resume_from is None:
+        return executor
+    run_checkpoint = checkpoint
+    run_resume = resume_from
+    if runs > 1:
+        from repro.sim.sharded.checkpoint import latest_checkpoint
+
+        name = f"run_{index:04d}"
+        if checkpoint is not None:
+            run_checkpoint = checkpoint.for_run(name)
+        if resume_from is not None:
+            candidate = Path(resume_from) / name
+            run_resume = (
+                str(candidate)
+                if latest_checkpoint(candidate) is not None
+                else None
+            )
+    return executor.with_durability(
+        checkpoint=run_checkpoint, resume_from=run_resume
+    )
+
+
 def run_many(
     scenario: Scenario,
     runs: int,
@@ -158,6 +196,8 @@ def run_many(
     record_probabilities: bool | None = None,
     shards: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    checkpoint=None,
+    resume_from=None,
 ):
     """Run ``scenario`` ``runs`` times with independently spawned seeds.
 
@@ -195,6 +235,16 @@ def run_many(
         run order (the parallel path yields results in submission order, so
         a slow early run delays the callback even while later runs finish) —
         making multi-minute experiments observable.
+    checkpoint:
+        A :class:`~repro.sim.sharded.CheckpointConfig` enabling periodic
+        shard-state snapshots (requires ``shards=``).  With ``runs > 1``
+        each run checkpoints into its own ``run_<index>`` subdirectory of
+        ``checkpoint.dir``.
+    resume_from:
+        A checkpoint directory written by a previous, interrupted
+        invocation with the *same* scenario/seed/shard configuration
+        (requires ``shards=``).  Completed slots are not re-executed and
+        the resumed results are bit-identical to an uninterrupted run.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
@@ -204,6 +254,27 @@ def run_many(
         raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     if shards is not None and shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards is not None:
+        num_devices = len(scenario.device_specs)
+        if shards > num_devices:
+            raise ValueError(
+                f"shards={shards} exceeds the scenario's {num_devices} "
+                "device(s); every shard needs at least one device — use "
+                f"shards<={num_devices}"
+            )
+        if workers is not None and workers > shards:
+            raise ValueError(
+                f"workers={workers} exceeds shards={shards}: each worker "
+                "process drives at least one whole shard, so the extra "
+                f"workers would sit idle — use workers<={shards} or raise "
+                "shards="
+            )
+    if (checkpoint is not None or resume_from is not None) and shards is None:
+        raise ValueError(
+            "checkpoint=/resume_from= require shards= — durability is "
+            "implemented by the sharded backend (runs execute serially and "
+            "workers= parallelizes inside each run)"
+        )
     # Imported lazily: repro.analysis modules import repro.sim.metrics, so a
     # top-level import here would be circular through repro.sim.__init__.
     from repro.analysis.reducers import resolve_reducer
@@ -261,8 +332,11 @@ def run_many(
     if reducer is None:
         results = []
         for index in indices:
+            run_executor = _durable_executor(
+                executor, checkpoint, resume_from, runs, index
+            )
             results.append(
-                executor.execute(
+                run_executor.execute(
                     scenario,
                     _spawned_run_seed(base_seed, index),
                     record_probabilities=record_probabilities,
@@ -275,8 +349,11 @@ def run_many(
     # so only one full record is alive at any time.
     merged = None
     for index in indices:
+        run_executor = _durable_executor(
+            executor, checkpoint, resume_from, runs, index
+        )
         payload = _map_payload(
-            executor,
+            run_executor,
             scenario,
             _spawned_run_seed(base_seed, index),
             reducer,

@@ -18,15 +18,39 @@ Layers:
   lockstep state machine (selection → occupancy → rates/feedback).
 * :mod:`repro.sim.sharded.bus` — :class:`SerialBus` (in-process
   debugging/equivalence mode) and :class:`SharedMemoryBus` (double-banked
-  shared-memory rings + one barrier wait per exchange).
+  shared-memory rings + one bounded barrier wait per exchange).
+* :mod:`repro.sim.sharded.checkpoint` — :class:`CheckpointConfig` /
+  :class:`ResumeState`: periodic atomic shard-state snapshots with a
+  checksummed manifest, and bit-exact resume from the last commit.
+* :mod:`repro.sim.sharded.faults` — :class:`SupervisionConfig` (barrier
+  timeouts, bounded checkpoint-based restarts), :class:`FaultPlan` fault
+  injection, and the failure vocabulary (:class:`ShardFailureError`,
+  :class:`WorkerCrashError`, :class:`BusTimeoutError`).
 * :mod:`repro.sim.sharded.executor` — :class:`ShardedSlotExecutor`, the
   ``"sharded"`` backend: gather/stitch for full results, windowed in-shard
-  reduction for bounded-memory megascale runs.
+  reduction for bounded-memory megascale runs, supervision loop on top.
 """
 
 from repro.sim.sharded.bus import SerialBus, SharedMemoryBus
+from repro.sim.sharded.checkpoint import (
+    CheckpointConfig,
+    CheckpointError,
+    ResumeState,
+    latest_checkpoint,
+)
 from repro.sim.sharded.engine import ShardEngine
 from repro.sim.sharded.executor import ShardedSlotExecutor
+from repro.sim.sharded.faults import (
+    BusTimeoutError,
+    CorruptCheckpoint,
+    DelayExchange,
+    FaultPlan,
+    InjectedFault,
+    KillWorker,
+    ShardFailureError,
+    SupervisionConfig,
+    WorkerCrashError,
+)
 from repro.sim.sharded.plan import (
     HomogeneousPopulation,
     ShardPlan,
@@ -35,12 +59,25 @@ from repro.sim.sharded.plan import (
 )
 
 __all__ = [
+    "BusTimeoutError",
+    "CheckpointConfig",
+    "CheckpointError",
+    "CorruptCheckpoint",
+    "DelayExchange",
+    "FaultPlan",
     "HomogeneousPopulation",
+    "InjectedFault",
+    "KillWorker",
+    "ResumeState",
     "SerialBus",
     "ShardEngine",
+    "ShardFailureError",
     "ShardPlan",
     "ShardSpec",
     "ShardedSlotExecutor",
     "SharedMemoryBus",
+    "SupervisionConfig",
+    "WorkerCrashError",
+    "latest_checkpoint",
     "shard_boundaries",
 ]

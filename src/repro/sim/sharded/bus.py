@@ -5,28 +5,48 @@ publishes its ``(networks,)`` occupancy vector and reads back the global sum
 (the all-reduce the congestion game's structure permits), and — only for
 stochastic delay models — a second exchange publishes the slot's switching
 devices so every worker can replay the global ascending-device-order delay
-draw on its own environment-RNG replica.
+draw on its own environment-RNG replica.  Checkpointing adds a third,
+occasional barrier: a commit fence confirming every worker finished writing
+its shard snapshots before worker 0 seals the manifest.
 
 Two implementations:
 
 * :class:`SerialBus` — the in-process ``workers=1`` mode: one driver owns
-  every shard, so both exchanges are identities.  This is the debugging and
-  bit-exactness-testing mode.
+  every shard, so both exchanges are identities and the commit fence is a
+  no-op.  This is the debugging and bit-exactness-testing mode.
 * :class:`SharedMemoryBus` — the hot path: worker processes communicate
   through two pre-allocated shared-memory rings (``multiprocessing.Array``
   without locks) synchronised by one :class:`multiprocessing.Barrier` wait
   per exchange.  Each ring is double-banked by slot parity: a slot writes
   bank ``slot % 2`` and the earliest possible reuse of a bank sits two
   barriers later, by which point every worker has read it.
+
+Every :class:`SharedMemoryBus` barrier wait is bounded by a configurable
+timeout (``SupervisionConfig.barrier_timeout_s``).  Before waiting, a
+worker publishes ``(slot, phase)`` to a shared progress table; when a wait
+times out — or a failing peer breaks the barrier — the worker raises
+:class:`~repro.sim.sharded.faults.BusTimeoutError` naming which workers
+arrived at the fence and where every missing worker was last seen, instead
+of blocking forever on a dead peer.
 """
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
-#: Barrier timeout: generous enough for a million-device slot on a loaded
-#: machine, finite so a crashed worker fails the run instead of hanging it.
-BARRIER_TIMEOUT_S = 600.0
+from repro.sim.sharded.faults import (
+    DEFAULT_BARRIER_TIMEOUT_S,
+    BusTimeoutError,
+)
+
+#: Backwards-compatible alias (pre-supervision name for the default bound).
+BARRIER_TIMEOUT_S = DEFAULT_BARRIER_TIMEOUT_S
+
+#: Progress-table phase codes, indexable by the phase column.
+PHASE_NAMES = ("counts all-reduce", "switcher exchange", "checkpoint commit")
+PHASE_COUNTS, PHASE_SWITCHERS, PHASE_CHECKPOINT = range(3)
 
 
 class SerialBus:
@@ -39,6 +59,9 @@ class SerialBus:
         self, slot: int, rows: np.ndarray, nets: np.ndarray
     ) -> tuple[np.ndarray, int]:
         return nets, 0
+
+    def checkpoint_sync(self, slot: int) -> None:
+        """Commit fence: trivially satisfied with a single driver."""
 
 
 class SharedMemoryBus:
@@ -53,7 +76,8 @@ class SharedMemoryBus:
         switcher_view: np.ndarray | None,
         switcher_counts_view: np.ndarray | None,
         barrier,
-        timeout_s: float = BARRIER_TIMEOUT_S,
+        timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S,
+        progress_view: np.ndarray | None = None,
     ) -> None:
         self.worker_index = worker_index
         self.num_workers = num_workers
@@ -64,11 +88,53 @@ class SharedMemoryBus:
         self.switcher_counts = switcher_counts_view  # (2, workers) int64 | None
         self.barrier = barrier
         self.timeout_s = timeout_s
+        self.progress = progress_view  # (workers, 2) int64: last (slot, phase)
+
+    # ------------------------------------------------------------- barriers
+
+    def _wait(self, slot: int, phase: int) -> None:
+        """One bounded barrier wait, with arrival diagnostics on failure."""
+        if self.progress is not None:
+            self.progress[self.worker_index, 0] = slot
+            self.progress[self.worker_index, 1] = phase
+        try:
+            self.barrier.wait(self.timeout_s)
+        except threading.BrokenBarrierError:
+            raise BusTimeoutError(*self._diagnose(slot, phase)) from None
+
+    def _diagnose(self, slot: int, phase: int) -> tuple[str, int, list, list]:
+        """Which workers reached this fence, and where the rest were seen."""
+        arrived: list[int] = []
+        missing: list[str] = []
+        if self.progress is not None:
+            snapshot = np.array(self.progress)
+            for worker in range(self.num_workers):
+                last_slot, last_phase = int(snapshot[worker, 0]), int(
+                    snapshot[worker, 1]
+                )
+                if (last_slot, last_phase) >= (slot, phase):
+                    arrived.append(worker)
+                elif last_slot <= 0:
+                    missing.append(f"worker {worker} never reached a barrier")
+                else:
+                    missing.append(
+                        f"worker {worker} last seen at slot {last_slot} "
+                        f"({PHASE_NAMES[last_phase]})"
+                    )
+        message = (
+            f"barrier wait broken or timed out (> {self.timeout_s:.1f}s) at "
+            f"slot {slot} ({PHASE_NAMES[phase]}): "
+            f"arrived {arrived or 'unknown'}"
+            + (f"; {'; '.join(missing)}" if missing else "")
+        )
+        return message, slot, arrived, missing
+
+    # ------------------------------------------------------------ exchanges
 
     def reduce_counts(self, slot: int, local_counts: np.ndarray) -> np.ndarray:
         bank = slot % 2
         self.counts[bank, self.worker_index, :] = local_counts
-        self.barrier.wait(self.timeout_s)
+        self._wait(slot, PHASE_COUNTS)
         return self.counts[bank].sum(axis=0)
 
     def exchange_switchers(
@@ -89,7 +155,7 @@ class SharedMemoryBus:
         if count:
             self.switchers[bank, lo : lo + count, 0] = rows
             self.switchers[bank, lo : lo + count, 1] = nets
-        self.barrier.wait(self.timeout_s)
+        self._wait(slot, PHASE_SWITCHERS)
         counts = self.switcher_counts[bank]
         segments = []
         offset = 0
@@ -105,3 +171,7 @@ class SharedMemoryBus:
         if not segments:
             return np.empty(0, dtype=np.int64), 0
         return np.concatenate(segments), offset
+
+    def checkpoint_sync(self, slot: int) -> None:
+        """Commit fence: every worker's shard files are on disk past this."""
+        self._wait(slot, PHASE_CHECKPOINT)

@@ -25,6 +25,20 @@ Result assembly has two shapes:
   partition (e.g. stability, which needs the global mixed-strategy tensor)
   transparently fall back to gather-then-map.
 
+Fault tolerance (see :mod:`repro.sim.sharded.checkpoint` and
+:mod:`repro.sim.sharded.faults`): a
+:class:`~repro.sim.sharded.checkpoint.CheckpointConfig` makes every worker
+snapshot its shard state periodically; ``resume_from=`` restores a run at
+its last committed checkpoint and continues bit-exact; a supervision loop
+detects crashed or hung workers (exit-code polling parent-side, bounded
+barrier waits worker-side), restarts from the last checkpoint with
+exponential backoff, and surfaces
+:class:`~repro.sim.sharded.faults.ShardFailureError` with per-worker
+diagnostics when retries are exhausted.  A
+:class:`~repro.sim.sharded.faults.FaultPlan` injects crashes, stalls and
+checkpoint corruption so tests and the ``--suite faults`` benchmark prove
+recovery works rather than assume it.
+
 Physics support: the closed-form equal-share gain model — exactly the class
 the vectorized backend's fast path covers.  Other gain models consume the
 environment RNG per network over the *global* association grouping, which a
@@ -40,8 +54,10 @@ exchange.
 from __future__ import annotations
 
 import logging
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -51,8 +67,29 @@ from repro.sim.backends.membership import equal_share_feedback
 from repro.sim.environment import WirelessEnvironment
 from repro.sim.metrics import SimulationResult
 from repro.sim.scenario import Scenario
-from repro.sim.sharded.bus import BARRIER_TIMEOUT_S, SerialBus, SharedMemoryBus
+from repro.sim.sharded.bus import SerialBus, SharedMemoryBus
+from repro.sim.sharded.checkpoint import (
+    CheckpointConfig,
+    ResumeState,
+    checkpoint_dir,
+    commit_manifest,
+    load_environment,
+    load_shard_state,
+    resolve_resume,
+    run_fingerprint,
+    shard_file_name,
+    write_environment,
+    write_shard_states,
+)
 from repro.sim.sharded.engine import ShardEngine
+from repro.sim.sharded.faults import (
+    BusTimeoutError,
+    FaultPlan,
+    InjectedFault,
+    ShardFailureError,
+    SupervisionConfig,
+    WorkerCrashError,
+)
 from repro.sim.sharded.plan import (
     HomogeneousPopulation,
     ShardPlan,
@@ -63,6 +100,10 @@ logger = logging.getLogger("repro.sim.sharded")
 
 #: Default slot-window width for the streaming (reduced) path.
 DEFAULT_WINDOW_SLOTS = 256
+
+#: Failure classes the supervision loop may recover from by restarting the
+#: run from its last checkpoint.
+RECOVERABLE_FAILURES = (InjectedFault, BusTimeoutError, WorkerCrashError)
 
 
 @dataclass(frozen=True)
@@ -80,6 +121,75 @@ class RunParams:
     num_networks: int
     total_devices: int
     heartbeat_seconds: float | None
+    num_shards: int = 1
+    attempt: int = 0
+    barrier_timeout_s: float = SupervisionConfig().barrier_timeout_s
+    checkpoint: CheckpointConfig | None = None
+    fingerprint: str | None = None
+    fingerprint_config: dict | None = field(default=None)
+    fault_plan: FaultPlan | None = None
+    resume: ResumeState | None = None
+
+
+def _maybe_inject_kill(
+    params: RunParams, worker_index: int, slot: int, point: str,
+    allow_hard_exit: bool,
+) -> None:
+    """Fire a scheduled :class:`KillWorker` fault, if one lands here."""
+    plan = params.fault_plan
+    if plan is None:
+        return
+    fault = plan.kill_at(worker_index, slot, params.attempt, point)
+    if fault is None:
+        return
+    if fault.hard and allow_hard_exit:
+        # Simulated OOM-kill/preemption: die without reporting, cleanup or
+        # barrier abort — peers must discover it via the barrier timeout,
+        # the parent via the exit code.
+        os._exit(17)
+    raise InjectedFault(
+        f"injected crash: worker {worker_index} at slot {slot} "
+        f"({point}, attempt {params.attempt})"
+    )
+
+
+def _build_group(
+    specs: list, seed_slices: list[np.ndarray], params: RunParams
+) -> tuple[list[ShardEngine], list, WirelessEnvironment, int, int]:
+    """Build a group's engines fresh, or restore them from a checkpoint.
+
+    Returns ``(engines, reducer_states, delay_env, start_slot,
+    window_start)``.  The restore path checksum-verifies every file against
+    the manifest (:class:`~repro.sim.sharded.checkpoint.CheckpointError` on
+    damage) and resumes at the slot after the snapshot.
+    """
+    resume = params.resume
+    if resume is not None:
+        engines: list[ShardEngine] = []
+        states: list = []
+        for spec in specs:
+            engine, state = load_shard_state(resume, spec.index)
+            engines.append(engine)
+            states.append(state)
+        delay_env = load_environment(resume)
+        return engines, states, delay_env, resume.slot + 1, resume.window_start
+    engines = [
+        ShardEngine(
+            spec,
+            seeds,
+            params.seed_label,
+            params.num_slots,
+            params.record_probabilities,
+            params.dtype,
+            params.window,
+            params.use_kernels,
+        )
+        for spec, seeds in zip(specs, seed_slices)
+    ]
+    delay_env = WirelessEnvironment(
+        engines[0].scenario, np.random.default_rng(params.environment_seed)
+    )
+    return engines, [None] * len(engines), delay_env, 1, 0
 
 
 def _run_group(
@@ -89,11 +199,18 @@ def _run_group(
     params: RunParams,
     reducer=None,
     log_heartbeat: bool = False,
+    worker_index: int = 0,
+    states: list | None = None,
+    start_slot: int = 1,
+    window_start: int = 0,
+    allow_hard_exit: bool = False,
 ):
     """Drive a group of shard engines through every slot in lockstep.
 
     Returns the per-engine payloads: full shard results (gather mode) or the
     reducer's per-shard states (streaming mode, ``params.window`` set).
+    ``start_slot``/``window_start``/``states`` carry a restored checkpoint's
+    cursors; a fresh run starts at slot 1 with empty state.
     """
     if reducer is not None:
         from repro.analysis.reducers import ShardWindow  # lazy: import cycle
@@ -117,20 +234,28 @@ def _run_group(
             ],
             dtype=float,
         )
-    states: list = [None] * len(engines)
+    if states is None:
+        states = [None] * len(engines)
     window = params.window
-    window_start = 0
+    checkpoint = params.checkpoint
+    fault_plan = params.fault_plan
     group_devices = sum(len(engine.device_ids) for engine in engines)
     started = time.monotonic()
     last_beat = started
 
-    for slot in range(1, num_slots + 1):
+    for slot in range(start_slot, num_slots + 1):
+        _maybe_inject_kill(params, worker_index, slot, "begin", allow_hard_exit)
         local_counts = engines[0].begin(slot)
         if len(engines) > 1:
             local_counts = local_counts.copy()
             for engine in engines[1:]:
                 local_counts += engine.begin(slot)
+        if fault_plan is not None:
+            stall = fault_plan.delay_for(worker_index, slot, params.attempt)
+            if stall:
+                time.sleep(stall)
         counts = bus.reduce_counts(slot, local_counts)
+        _maybe_inject_kill(params, worker_index, slot, "mid", allow_hard_exit)
 
         per_engine_switchers: list[int] = []
         group_rows: list[np.ndarray] = []
@@ -209,6 +334,36 @@ def _run_group(
                 engine.reset_window(slot)
             window_start = slot
 
+        if checkpoint is not None and slot % checkpoint.every_slots == 0:
+            # Snapshot after the window flush so the manifest's cursors and
+            # the pickled reducer states describe the same instant.  When the
+            # cadence lands exactly on a flush the recorder was just zeroed,
+            # so the snapshot may elide its blocks entirely.
+            write_shard_states(
+                checkpoint,
+                slot,
+                engines,
+                states,
+                drop_recorder=(reducer is not None and window_start == slot),
+            )
+            if worker_index == 0:
+                write_environment(checkpoint, slot, delay_env)
+            bus.checkpoint_sync(slot)
+            if worker_index == 0:
+                commit_manifest(
+                    checkpoint,
+                    slot,
+                    params.fingerprint,
+                    params.fingerprint_config or {},
+                    window_start,
+                    params.num_shards,
+                )
+                if fault_plan is not None:
+                    for fault in fault_plan.corruptions_at(slot):
+                        _garble_checkpoint_file(checkpoint, slot, fault.shard)
+
+        _maybe_inject_kill(params, worker_index, slot, "end", allow_hard_exit)
+
         if params.heartbeat_seconds is not None and log_heartbeat:
             now = time.monotonic()
             if now - last_beat >= params.heartbeat_seconds:
@@ -228,6 +383,17 @@ def _run_group(
     if reducer is not None:
         return states
     return [engine.result() for engine in engines]
+
+
+def _garble_checkpoint_file(
+    checkpoint: CheckpointConfig, slot: int, shard_index: int
+) -> None:
+    """Flip a byte mid-file (fault injection: simulated disk damage)."""
+    path = checkpoint_dir(checkpoint, slot) / shard_file_name(shard_index)
+    data = bytearray(path.read_bytes())
+    if data:
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
 
 
 def _stitch(
@@ -278,6 +444,7 @@ def _shard_worker(
     counts_array,
     switcher_array,
     switcher_counts_array,
+    progress_array,
     barrier,
     queue,
 ) -> None:
@@ -296,22 +463,11 @@ def _shard_worker(
             switcher_counts_view = np.frombuffer(
                 switcher_counts_array, dtype=np.int64
             ).reshape(2, num_workers)
-        engines = [
-            ShardEngine(
-                spec,
-                seeds,
-                params.seed_label,
-                params.num_slots,
-                params.record_probabilities,
-                params.dtype,
-                params.window,
-                params.use_kernels,
-            )
-            for spec, seeds in zip(specs, seed_slices)
-        ]
-        delay_env = WirelessEnvironment(
-            engines[0].scenario,
-            np.random.default_rng(params.environment_seed),
+        progress_view = np.frombuffer(
+            progress_array, dtype=np.int64
+        ).reshape(num_workers, 2)
+        engines, states, delay_env, start_slot, window_start = _build_group(
+            specs, seed_slices, params
         )
         bus = SharedMemoryBus(
             worker_index,
@@ -321,6 +477,8 @@ def _shard_worker(
             switcher_view,
             switcher_counts_view,
             barrier,
+            timeout_s=params.barrier_timeout_s,
+            progress_view=progress_view,
         )
         payloads = _run_group(
             engines,
@@ -329,6 +487,11 @@ def _shard_worker(
             params,
             reducer,
             log_heartbeat=worker_index == 0,
+            worker_index=worker_index,
+            states=states,
+            start_slot=start_slot,
+            window_start=window_start,
+            allow_hard_exit=True,
         )
         queue.put((worker_index, "ok", payloads))
     except BaseException:
@@ -363,6 +526,24 @@ class ShardedSlotExecutor(SlotExecutor):
     heartbeat_seconds:
         Emit a progress log line (logger ``repro.sim.sharded``) roughly this
         often during a run; ``None`` disables.
+    checkpoint:
+        A :class:`~repro.sim.sharded.checkpoint.CheckpointConfig` enabling
+        periodic shard-state snapshots (and checkpoint-based crash
+        recovery); ``None`` disables durability.
+    resume_from:
+        A checkpoint directory (the configured ``checkpoint.dir`` or one
+        specific ``ckpt_<slot>`` subdirectory) to restore the run from.
+        The manifest is validated against this run's configuration; a
+        mismatch or missing checkpoint fails loudly, and the resumed run
+        is bit-identical to one that never stopped.
+    supervision:
+        Worker supervision knobs (barrier timeout, restart budget,
+        backoff); defaults to
+        :class:`~repro.sim.sharded.faults.SupervisionConfig`.
+    fault_plan:
+        Test-only fault injection schedule
+        (:class:`~repro.sim.sharded.faults.FaultPlan`); production runs
+        leave it ``None``.
     """
 
     name = "sharded"
@@ -376,6 +557,10 @@ class ShardedSlotExecutor(SlotExecutor):
         use_kernels: bool = True,
         strict: bool = False,
         heartbeat_seconds: float | None = None,
+        checkpoint: CheckpointConfig | None = None,
+        resume_from: str | Path | None = None,
+        supervision: SupervisionConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -390,20 +575,44 @@ class ShardedSlotExecutor(SlotExecutor):
         self.use_kernels = use_kernels
         self.strict = strict
         self.heartbeat_seconds = heartbeat_seconds
+        self.checkpoint = checkpoint
+        self.resume_from = None if resume_from is None else str(resume_from)
+        self.supervision = supervision or SupervisionConfig()
+        self.fault_plan = fault_plan
 
-    def with_shards(
-        self, shards: int, workers: int | None = None
-    ) -> "ShardedSlotExecutor":
-        """A copy configured for ``shards`` blocks (and optionally workers)."""
-        return ShardedSlotExecutor(
-            shards=shards,
-            workers=self.workers if workers is None else workers,
+    def _copy(self, **overrides) -> "ShardedSlotExecutor":
+        settings = dict(
+            shards=self.shards,
+            workers=self.workers,
             dtype=self.dtype,
             window_slots=self.window_slots,
             use_kernels=self.use_kernels,
             strict=self.strict,
             heartbeat_seconds=self.heartbeat_seconds,
+            checkpoint=self.checkpoint,
+            resume_from=self.resume_from,
+            supervision=self.supervision,
+            fault_plan=self.fault_plan,
         )
+        settings.update(overrides)
+        return ShardedSlotExecutor(**settings)
+
+    def with_shards(
+        self, shards: int, workers: int | None = None
+    ) -> "ShardedSlotExecutor":
+        """A copy configured for ``shards`` blocks (and optionally workers)."""
+        return self._copy(
+            shards=shards,
+            workers=self.workers if workers is None else workers,
+        )
+
+    def with_durability(
+        self,
+        checkpoint: CheckpointConfig | None = None,
+        resume_from: str | Path | None = None,
+    ) -> "ShardedSlotExecutor":
+        """A copy with checkpointing/resume configured (``run_many`` hook)."""
+        return self._copy(checkpoint=checkpoint, resume_from=resume_from)
 
     # ----------------------------------------------------------- capability
 
@@ -426,6 +635,12 @@ class ShardedSlotExecutor(SlotExecutor):
                 f"{type(scenario.gain_model).__name__} requires the global "
                 "association grouping (only the equal-share model is "
                 "shardable); use the vectorized backend or strict=False"
+            )
+        if self.checkpoint is not None or self.resume_from is not None:
+            logger.warning(
+                "scenario %r falls back to the vectorized backend, which "
+                "does not checkpoint; the run executes without durability",
+                scenario.name,
             )
         from repro.sim.backends.vectorized import VectorizedSlotExecutor
 
@@ -551,6 +766,22 @@ class ShardedSlotExecutor(SlotExecutor):
             if first_spec.scenario is not None
             else len(first_spec.population.bandwidths)
         )
+        coupled = self._delay_coupled(plan)
+        checkpoint = self.checkpoint
+        fingerprint = fingerprint_config = None
+        if checkpoint is not None or self.resume_from is not None:
+            fingerprint, fingerprint_config = run_fingerprint(
+                plan,
+                num_slots=num_slots,
+                seed_label=label,
+                environment_seed=environment_seed,
+                record_probabilities=record_probabilities,
+                dtype=self.dtype,
+                window=window,
+                use_kernels=self.use_kernels,
+                coupled=coupled,
+                reducer=type(reducer).__name__ if reducer is not None else "gather",
+            )
         params = RunParams(
             num_slots=num_slots,
             environment_seed=environment_seed,
@@ -559,46 +790,103 @@ class ShardedSlotExecutor(SlotExecutor):
             dtype=self.dtype,
             window=window,
             use_kernels=self.use_kernels,
-            coupled=self._delay_coupled(plan),
+            coupled=coupled,
             num_networks=num_networks,
             total_devices=plan.num_devices,
             heartbeat_seconds=self.heartbeat_seconds,
+            num_shards=plan.shards,
+            barrier_timeout_s=self.supervision.barrier_timeout_s,
+            checkpoint=checkpoint,
+            fingerprint=fingerprint,
+            fingerprint_config=fingerprint_config,
+            fault_plan=self.fault_plan,
         )
         seed_slices = [
             policy_seeds[spec.seed_positions] for spec in plan.specs
         ]
-
         workers = min(self.workers, plan.shards)
-        if workers <= 1:
-            engines = [
-                ShardEngine(
-                    spec,
-                    seeds,
-                    label,
-                    num_slots,
-                    record_probabilities,
-                    self.dtype,
-                    window,
-                    self.use_kernels,
+
+        supervision = self.supervision
+        attempts: list[dict] = []
+        attempt = 0
+        while True:
+            if attempt == 0:
+                # An explicit resume_from must exist and validate; a plain
+                # run starts fresh even if old checkpoints linger.
+                resume = resolve_resume(
+                    self.resume_from, fingerprint, fingerprint_config,
+                    required=True,
+                ) if self.resume_from is not None else None
+            else:
+                resume = resolve_resume(
+                    checkpoint.path if checkpoint is not None else None,
+                    fingerprint,
+                    fingerprint_config,
+                    required=False,
                 )
-                for spec, seeds in zip(plan.specs, seed_slices)
-            ]
-            delay_env = WirelessEnvironment(
-                engines[0].scenario, np.random.default_rng(environment_seed)
-            )
-            return _run_group(
-                engines,
-                SerialBus(),
-                delay_env,
-                params,
-                reducer,
-                log_heartbeat=True,
-            )
-        return self._execute_parallel(
-            plan, params, seed_slices, reducer, workers
+            run_params = replace(params, attempt=attempt, resume=resume)
+            try:
+                if workers <= 1:
+                    return self._attempt_serial(
+                        plan, run_params, seed_slices, reducer
+                    )
+                return self._attempt_parallel(
+                    plan, run_params, seed_slices, reducer, workers
+                )
+            except RECOVERABLE_FAILURES as exc:
+                record = {
+                    "attempt": attempt,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+                if isinstance(exc, WorkerCrashError):
+                    record["workers"] = exc.workers
+                attempts.append(record)
+                if checkpoint is None or attempt >= supervision.max_restarts:
+                    reason = (
+                        "no checkpointing configured — cannot restart"
+                        if checkpoint is None
+                        else f"restart budget ({supervision.max_restarts}) exhausted"
+                    )
+                    raise ShardFailureError(
+                        f"sharded run failed after {attempt + 1} attempt(s); "
+                        f"{reason}",
+                        attempts,
+                    ) from exc
+                backoff = supervision.backoff_s * (2**attempt)
+                logger.warning(
+                    "sharded run attempt %d failed (%s); restarting from "
+                    "last checkpoint in %.2fs",
+                    attempt,
+                    type(exc).__name__,
+                    backoff,
+                )
+                time.sleep(backoff)
+                attempt += 1
+
+    def _attempt_serial(
+        self,
+        plan: ShardPlan,
+        params: RunParams,
+        seed_slices: list[np.ndarray],
+        reducer,
+    ) -> list:
+        engines, states, delay_env, start_slot, window_start = _build_group(
+            list(plan.specs), seed_slices, params
+        )
+        return _run_group(
+            engines,
+            SerialBus(),
+            delay_env,
+            params,
+            reducer,
+            log_heartbeat=True,
+            worker_index=0,
+            states=states,
+            start_slot=start_slot,
+            window_start=window_start,
         )
 
-    def _execute_parallel(
+    def _attempt_parallel(
         self,
         plan: ShardPlan,
         params: RunParams,
@@ -622,6 +910,7 @@ class ShardedSlotExecutor(SlotExecutor):
         if params.coupled:
             switcher_array = ctx.RawArray("q", 2 * params.total_devices * 2)
             switcher_counts_array = ctx.RawArray("q", 2 * workers)
+        progress_array = ctx.RawArray("q", workers * 2)
         barrier = ctx.Barrier(workers)
         queue = ctx.Queue()
 
@@ -641,6 +930,7 @@ class ShardedSlotExecutor(SlotExecutor):
                         counts_array,
                         switcher_array,
                         switcher_counts_array,
+                        progress_array,
                         barrier,
                         queue,
                     ),
@@ -650,8 +940,13 @@ class ShardedSlotExecutor(SlotExecutor):
         for process in processes:
             process.start()
 
+        progress = np.frombuffer(progress_array, dtype=np.int64).reshape(
+            workers, 2
+        )
+        supervision = self.supervision
         payloads_by_worker: dict[int, list] = {}
-        error: str | None = None
+        errors_by_worker: dict[int, str] = {}
+        failure: WorkerCrashError | None = None
         try:
             import queue as queue_module
 
@@ -659,27 +954,44 @@ class ShardedSlotExecutor(SlotExecutor):
             # arbitrarily far away (a megascale run is tens of minutes) —
             # so poll with a short timeout and keep waiting for as long as
             # every worker is alive.  A worker that dies without reporting
-            # (OOM-kill, segfault) fails the run promptly instead; workers
-            # that lose a *peer* fail themselves via the barrier timeout.
-            while len(payloads_by_worker) < workers and error is None:
+            # (OOM-kill, segfault, injected hard kill) fails the run
+            # promptly instead; workers that lose a *peer* fail themselves
+            # via the bounded barrier wait.
+            while len(payloads_by_worker) < workers and failure is None:
                 try:
-                    worker_index, status, payload = queue.get(timeout=15.0)
+                    worker_index, status, payload = queue.get(
+                        timeout=supervision.poll_interval_s
+                    )
                 except queue_module.Empty:
                     dead = [
-                        p.pid for p in processes if p.exitcode not in (None, 0)
+                        index
+                        for index, process in enumerate(processes)
+                        if process.exitcode not in (None, 0)
                     ]
                     if dead:
-                        error = (
+                        failure = WorkerCrashError(
                             f"worker process(es) {dead} exited without "
-                            "reporting a result"
+                            "reporting a result",
+                            self._worker_diagnostics(
+                                processes, progress, errors_by_worker,
+                                payloads_by_worker,
+                            ),
                         )
                     continue
                 if status == "ok":
                     payloads_by_worker[worker_index] = payload
-                elif error is None:
-                    error = payload
+                else:
+                    errors_by_worker[worker_index] = payload
+                    if failure is None:
+                        failure = WorkerCrashError(
+                            f"worker {worker_index} failed:\n{payload}",
+                            self._worker_diagnostics(
+                                processes, progress, errors_by_worker,
+                                payloads_by_worker,
+                            ),
+                        )
         finally:
-            if error is not None:
+            if failure is not None:
                 # Unblock any worker parked at the barrier, then stop them.
                 try:
                     barrier.abort()
@@ -691,10 +1003,34 @@ class ShardedSlotExecutor(SlotExecutor):
                     if process.is_alive():
                         process.terminate()
             for process in processes:
-                process.join(timeout=BARRIER_TIMEOUT_S)
-        if error is not None:
-            raise RuntimeError(f"sharded worker failed:\n{error}")
+                process.join(timeout=params.barrier_timeout_s)
+        if failure is not None:
+            raise failure
         ordered: list = []
         for index in range(workers):
             ordered.extend(payloads_by_worker[index])
         return ordered
+
+    @staticmethod
+    def _worker_diagnostics(
+        processes, progress: np.ndarray, errors: dict, payloads: dict
+    ) -> dict[int, dict]:
+        """Per-worker post-mortem: exit code, last barrier seen, traceback."""
+        from repro.sim.sharded.bus import PHASE_NAMES
+
+        diagnostics: dict[int, dict] = {}
+        snapshot = np.array(progress)
+        for index, process in enumerate(processes):
+            last_slot = int(snapshot[index, 0])
+            info = {
+                "exitcode": process.exitcode,
+                "reported": index in payloads or index in errors,
+                "last_slot": last_slot,
+                "last_phase": (
+                    PHASE_NAMES[int(snapshot[index, 1])] if last_slot > 0 else None
+                ),
+            }
+            if index in errors:
+                info["error"] = errors[index]
+            diagnostics[index] = info
+        return diagnostics

@@ -1,0 +1,229 @@
+"""Fault injection and worker supervision for the sharded engine.
+
+Long sharded runs fail in ways unit logic never exercises: a worker is
+OOM-killed at slot 900k, a barrier peer stalls, a checkpoint file is
+truncated by a full disk.  This module gives those failures first-class
+names so the executor can *provoke* them in tests (:class:`FaultPlan`),
+*detect* them in production (:class:`SupervisionConfig` driving barrier
+timeouts and parent-side exit-code polling), and *report* them precisely
+(:class:`ShardFailureError` with per-worker diagnostics) when recovery from
+the last checkpoint is impossible or exhausted.
+
+Fault vocabulary
+----------------
+
+* :class:`KillWorker` — crash worker ``worker`` when it reaches ``slot``:
+  ``hard=True`` exits the process without cleanup (simulating an OOM kill /
+  preemption — peers discover it through the barrier timeout, the parent
+  through the exit code), ``hard=False`` raises :class:`InjectedFault`
+  (simulating an in-Python crash that still reports a traceback).  The
+  ``attempt`` field pins the fault to one supervision attempt so a restarted
+  run does not re-crash deterministically; ``point`` selects where within
+  the slot protocol the crash lands (``"begin"`` before selection,
+  ``"mid"`` between the occupancy all-reduce and the switcher exchange,
+  ``"end"`` after the slot completes — i.e. after any checkpoint commit).
+* :class:`DelayExchange` — sleep ``seconds`` before the slot's occupancy
+  exchange, which is how tests provoke a barrier timeout on the peers.
+* :class:`CorruptCheckpoint` — flip bytes in one shard file of the
+  checkpoint committed at ``slot``, *after* its manifest commit: resume
+  must refuse via checksum mismatch rather than silently restore garbage.
+
+All fault objects are frozen dataclasses, picklable by construction, and
+cross the worker-process boundary inside ``RunParams``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default barrier timeout: generous enough for a million-device slot on a
+#: loaded machine, finite so a crashed worker fails the run instead of
+#: hanging it.
+DEFAULT_BARRIER_TIMEOUT_S = 600.0
+
+
+class InjectedFault(RuntimeError):
+    """A :class:`KillWorker` fault fired (soft mode / serial driver)."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard worker process died, errored, or lost a barrier peer.
+
+    ``workers`` maps worker index to a diagnostics dict (``exitcode``,
+    ``reported``, ``last_slot``, ``last_phase``, optional ``error``
+    traceback text).  Raised parent-side; the supervision loop either
+    restarts the run from its last checkpoint or wraps the accumulated
+    attempts in :class:`ShardFailureError`.
+    """
+
+    def __init__(self, message: str, workers: dict | None = None) -> None:
+        super().__init__(message)
+        self.workers = workers or {}
+
+
+class BusTimeoutError(RuntimeError):
+    """A barrier wait timed out or was broken by a failing peer.
+
+    The message names the slot, the exchange phase, which workers arrived
+    and where every other worker was last seen — the diagnostic the old
+    silent ``Barrier.wait`` hang never produced.
+    """
+
+    def __init__(self, message: str, slot: int = -1, arrived=(), missing=()) -> None:
+        super().__init__(message)
+        self.slot = slot
+        self.arrived = tuple(arrived)
+        self.missing = tuple(missing)
+
+
+class ShardFailureError(RuntimeError):
+    """A sharded run failed beyond what supervision could recover.
+
+    ``attempts`` holds one diagnostics dict per failed attempt:
+    ``{"attempt": n, "error": str, "workers": {index: {...}}}``.  Raised
+    when checkpoint-based restarts are exhausted (or not configured), in
+    place of an infinite barrier hang or a bare worker traceback.
+    """
+
+    def __init__(self, message: str, attempts: list[dict]) -> None:
+        self.attempts = list(attempts)
+        lines = [message]
+        for record in self.attempts:
+            lines.append(
+                f"  attempt {record.get('attempt')}: {record.get('error', '?')}"
+            )
+            for index, info in sorted(record.get("workers", {}).items()):
+                details = ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(info.items())
+                    if key != "error"
+                )
+                lines.append(f"    worker {index}: {details}")
+        super().__init__("\n".join(lines))
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """Crash worker ``worker`` at ``slot`` (see the module docstring)."""
+
+    worker: int
+    slot: int
+    attempt: int = 0
+    point: str = "end"
+    hard: bool = False
+
+    def __post_init__(self) -> None:
+        if self.point not in ("begin", "mid", "end"):
+            raise ValueError(
+                f"point must be 'begin', 'mid' or 'end', got {self.point!r}"
+            )
+        if self.slot < 1:
+            raise ValueError(f"slot must be >= 1, got {self.slot}")
+
+
+@dataclass(frozen=True)
+class DelayExchange:
+    """Sleep ``seconds`` in ``worker`` before ``slot``'s occupancy exchange."""
+
+    worker: int
+    slot: int
+    seconds: float
+    attempt: int | None = None  # None: fires on every attempt
+
+
+@dataclass(frozen=True)
+class CorruptCheckpoint:
+    """Garble shard ``shard``'s file of the checkpoint committed at ``slot``."""
+
+    slot: int
+    shard: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable schedule of injected faults for one sharded run.
+
+    Used by the fault-injection tests and the ``--suite faults`` benchmark
+    mode to *prove* that supervision and checkpoint/resume work, rather
+    than assume it.  Production runs simply leave it ``None``.
+    """
+
+    faults: tuple = ()
+
+    def kill_at(
+        self, worker: int, slot: int, attempt: int, point: str
+    ) -> KillWorker | None:
+        for fault in self.faults:
+            if (
+                isinstance(fault, KillWorker)
+                and fault.worker == worker
+                and fault.slot == slot
+                and fault.attempt == attempt
+                and fault.point == point
+            ):
+                return fault
+        return None
+
+    def delay_for(self, worker: int, slot: int, attempt: int) -> float:
+        total = 0.0
+        for fault in self.faults:
+            if (
+                isinstance(fault, DelayExchange)
+                and fault.worker == worker
+                and fault.slot == slot
+                and fault.attempt in (None, attempt)
+            ):
+                total += fault.seconds
+        return total
+
+    def corruptions_at(self, slot: int) -> list[CorruptCheckpoint]:
+        return [
+            fault
+            for fault in self.faults
+            if isinstance(fault, CorruptCheckpoint) and fault.slot == slot
+        ]
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Worker supervision knobs for the sharded executor.
+
+    Attributes
+    ----------
+    barrier_timeout_s:
+        Upper bound on any single :class:`~repro.sim.sharded.bus.SharedMemoryBus`
+        barrier wait.  A peer that fails to arrive within it breaks the
+        barrier with a :class:`BusTimeoutError` naming the slot, the phase
+        and who arrived — the run fails loudly instead of hanging forever.
+    max_restarts:
+        How many times a crashed/hung run is restarted from its last
+        checkpoint before surfacing :class:`ShardFailureError`.  Restarts
+        require a :class:`~repro.sim.sharded.checkpoint.CheckpointConfig`;
+        without one any worker failure raises immediately.
+    backoff_s:
+        Base of the exponential restart backoff: attempt ``n`` sleeps
+        ``backoff_s * 2**n`` seconds before resuming.
+    poll_interval_s:
+        Parent-side cadence for polling worker exit codes while waiting
+        for results (crashes that bypass Python — OOM kills, segfaults —
+        are only visible this way).
+    """
+
+    barrier_timeout_s: float = DEFAULT_BARRIER_TIMEOUT_S
+    max_restarts: int = 2
+    backoff_s: float = 0.5
+    poll_interval_s: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.barrier_timeout_s <= 0:
+            raise ValueError(
+                f"barrier_timeout_s must be > 0, got {self.barrier_timeout_s}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be > 0, got {self.poll_interval_s}"
+            )
