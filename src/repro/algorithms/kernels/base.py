@@ -47,6 +47,7 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.algorithms.base import Policy
+from repro.xp import asnumpy, get_array_module
 
 
 @dataclass
@@ -65,6 +66,33 @@ class SlotFeedback:
     environment: object | None = None
 
 
+@dataclass
+class WindowPlan:
+    """Everything a kernel needs to advance a membership-stable window.
+
+    Assembled by the executor when one kernel covers every active device on
+    the closed-form equal-share physics with a stream-free delay model: slot
+    range, recorder blocks, the per-network stream-free delay table and the
+    previous-choice columns (``prev``, *global* network columns aligned with
+    the kernel's rows, -1 = never chose; mutated in place so the executor's
+    switch detection resumes seamlessly after the window).
+    """
+
+    start_slot: int
+    n_slots: int
+    idx_lo: int
+    net_ids: np.ndarray
+    bandwidths: np.ndarray
+    num_networks: int
+    scale_ref: float
+    delay_table: np.ndarray
+    prev: np.ndarray
+    choices2d: np.ndarray
+    rates2d: np.ndarray
+    delays2d: np.ndarray
+    switches2d: np.ndarray
+
+
 def sequential_row_sum(matrix: np.ndarray) -> np.ndarray:
     """Row sums accumulated strictly left to right.
 
@@ -79,7 +107,10 @@ def sequential_row_sum(matrix: np.ndarray) -> np.ndarray:
 
 
 def sample_rows(
-    prob_matrix: np.ndarray, rngs: Sequence[np.random.Generator]
+    prob_matrix,
+    rngs: Sequence[np.random.Generator],
+    draws=None,
+    xp=None,
 ) -> np.ndarray:
     """One categorical sample per row, bit-compatible with ``Generator.choice``.
 
@@ -89,13 +120,27 @@ def sample_rows(
     replicated pipeline is the one inside ``Generator.choice``:
     normalise → cumulative sum → divide by the last partial sum →
     ``searchsorted(..., side="right")`` on one uniform draw.
+
+    ``draws`` (one uniform per row) skips the per-row generator calls: window
+    preparation (:meth:`BatchKernel.prepare_window`) draws a whole
+    membership-stable window ahead with one ``Generator.random(n)`` call per
+    row, which yields the *identical* double stream as ``n`` sequential
+    ``.random()`` calls — so the buffered path stays bit-exact while paying
+    the Python generator-call overhead once per window instead of per slot.
+    ``xp`` routes the array math through a non-NumPy namespace (seam:
+    :mod:`repro.xp`).
     """
-    probs = prob_matrix / np.sum(prob_matrix, axis=1, keepdims=True)
-    cdf = np.cumsum(probs, axis=1)
+    if xp is None:
+        xp = get_array_module()
+    probs = prob_matrix / xp.sum(prob_matrix, axis=1, keepdims=True)
+    cdf = xp.cumsum(probs, axis=1)
     cdf /= cdf[:, -1:]
-    draws = np.asarray([rng.random() for rng in rngs], dtype=float)
+    if draws is None:
+        draws = np.asarray([rng.random() for rng in rngs], dtype=float)
+    if xp is not np:
+        draws = xp.asarray(draws)
     indices = (cdf <= draws[:, None]).sum(axis=1)
-    return np.minimum(indices, prob_matrix.shape[1] - 1)
+    return xp.minimum(indices, prob_matrix.shape[1] - 1)
 
 
 class BatchKernel(ABC):
@@ -113,6 +158,14 @@ class BatchKernel(ABC):
     #: Python-list attributes holding one entry per row (parallel to
     #: ``policies``); membership edits slice/extend them alongside the arrays.
     ROW_LIST_ATTRS: tuple[str, ...] = ()
+
+    #: Whether ``begin_slot`` consumes exactly one uniform double per row per
+    #: slot unconditionally (EXP3 / Full Information).  Only such kernels can
+    #: pre-draw a whole membership-stable window (:meth:`prepare_window`);
+    #: kernels with data-dependent RNG consumption (Smart-EXP3's block
+    #: starts) or none at all (Greedy) leave this ``False`` and the window
+    #: machinery degrades to a per-slot no-op for them.
+    uses_slot_draws: bool = False
 
     @classmethod
     def group_key(cls, policy: Policy) -> Hashable | None:
@@ -151,6 +204,129 @@ class BatchKernel(ABC):
         self.rngs = [p.rng for p in self.policies]
         self.size = len(self.policies)
         self._arange = np.arange(self.size)
+        # Pre-drawn uniforms for a membership-stable window (see
+        # prepare_window): a (size, n) block plus a consumption cursor.
+        # Deliberately excluded from the structural row-state sweep via
+        # _drop_window_buffer so membership edits never slice or pad it.
+        self._window_draws: np.ndarray | None = None
+        self._window_pos = 0
+
+    @property
+    def xp(self):
+        """The active array namespace (:mod:`repro.xp` seam).
+
+        Resolved per access rather than cached on the instance: the kernel
+        state must stay free of module references so the sharded engine's
+        columnar checkpoint codec can pickle ``vars(kernel)`` wholesale.
+        """
+        return get_array_module()
+
+    # ---------------------------------------------------------- draw windows
+
+    def prepare_window(self, n_slots: int) -> None:
+        """Pre-draw ``n_slots`` uniforms per row for a membership-stable span.
+
+        ``Generator.random(n)`` yields the identical double stream as ``n``
+        sequential ``.random()`` calls, so pre-drawing is bit-exact; it
+        amortises the dominant per-row Python generator call over the window.
+        The caller (executor/engine) must size ``n_slots`` so the buffer is
+        exhausted before the next topology event, checkpoint or flush — a
+        partially consumed buffer at a membership edit is a stream-contract
+        violation and raises in :meth:`_drop_window_buffer`.
+
+        No-op for kernels without unconditional per-slot draws
+        (:attr:`uses_slot_draws`).
+        """
+        if not self.uses_slot_draws or n_slots < 1:
+            return
+        self._drop_window_buffer()
+        self._window_draws = np.stack(
+            [rng.random(n_slots) for rng in self.rngs]
+        ) if self.size else np.empty((0, n_slots))
+        self._window_pos = 0
+
+    @property
+    def window_exhausted(self) -> bool:
+        """Whether the pre-drawn uniform buffer has been fully consumed."""
+        draws = self._window_draws
+        return draws is None or self._window_pos >= draws.shape[1]
+
+    def _take_draws(self) -> np.ndarray | None:
+        """Consume one pre-drawn uniform column, or ``None`` when unbuffered."""
+        draws = self._window_draws
+        if draws is None:
+            return None
+        pos = self._window_pos
+        if pos >= draws.shape[1]:
+            self._window_draws = None
+            return None
+        self._window_pos = pos + 1
+        if self._window_pos == draws.shape[1]:
+            column = draws[:, pos].copy()
+            self._window_draws = None
+            return column
+        return draws[:, pos]
+
+    def _drop_window_buffer(self) -> None:
+        """Discard the draw buffer; raises if draws would be lost unconsumed."""
+        draws = self._window_draws
+        if draws is None:
+            return
+        if self._window_pos < draws.shape[1]:
+            raise RuntimeError(
+                f"{type(self).__name__}: window buffer dropped with "
+                f"{draws.shape[1] - self._window_pos} unconsumed draws — "
+                "windows must end at membership/checkpoint boundaries"
+            )
+        self._window_draws = None
+        self._window_pos = 0
+
+    def advance_window(self, window: "WindowPlan") -> None:
+        """Advance the whole group through a membership-stable window.
+
+        The generic implementation is the *interpreted* fused loop: it runs
+        the same ``begin_slot`` → equal-share physics → switch/delay →
+        ``end_slot`` sequence the executor's slot loop performs, with the
+        per-slot Python overhead (fallback/frozen branches, environment
+        calls, dict bookkeeping) eliminated and delays resolved from the
+        stream-free per-network table — bit-exact with the per-slot path by
+        construction.  Kernels may override it with a compiled mega-loop
+        (:class:`~repro.algorithms.kernels.exp3.EXP3Kernel` when numba is
+        enabled).
+
+        Preconditions (enforced by the executor): this kernel covers every
+        active device, physics is closed-form equal share, the delay model is
+        stream-free, and no full-feedback consumer is active.
+        """
+        xp = self.xp
+        rows = self.rows
+        net_ids = window.net_ids
+        bandwidths = window.bandwidths
+        scale_ref = window.scale_ref
+        num_networks = window.num_networks
+        delay_table = window.delay_table
+        prev = window.prev
+        choices2d = window.choices2d
+        rates2d = window.rates2d
+        delays2d = window.delays2d
+        switches2d = window.switches2d
+        for t in range(window.n_slots):
+            slot = window.start_slot + t
+            idx = window.idx_lo + t
+            cols = self.begin_slot(slot)
+            counts = xp.bincount(cols, minlength=num_networks)
+            rates = (bandwidths / xp.maximum(counts, 1))[cols]
+            host_cols = asnumpy(cols)
+            choices2d[rows, idx] = net_ids[host_cols]
+            rates2d[rows, idx] = asnumpy(rates)
+            switched = (prev != -1) & (prev != host_cols)
+            if switched.any():
+                switch_rows = rows[switched]
+                delays2d[switch_rows, idx] = delay_table[host_cols[switched]]
+                switches2d[switch_rows, idx] = True
+            prev[:] = host_cols
+            gains = xp.minimum(rates / scale_ref, 1.0)
+            self.end_slot(slot, idx, gains, None)
 
     def record_probability_block(
         self, slot_index: int, values: np.ndarray
@@ -169,7 +345,7 @@ class BatchKernel(ABC):
         (``cols`` / ``_arange`` are the only same-length arrays that are not,
         and only when the group happens to have as many rows as networks).
         """
-        skip = {"cols", "_arange"}
+        skip = {"cols", "_arange", "_window_draws"}
         size = self.size
         return [
             name
@@ -199,6 +375,7 @@ class BatchKernel(ABC):
         changes (the device then re-enters another group via a fresh gather).
         """
         local = sorted({int(index) for index in local_indices})
+        self._drop_window_buffer()
         self._flush_rows(local)
         keep = np.ones(self.size, dtype=bool)
         keep[local] = False
@@ -224,6 +401,8 @@ class BatchKernel(ABC):
         """
         if type(other) is not type(self) or other.nets != self.nets:
             raise ValueError("can only absorb a kernel of the same group")
+        self._drop_window_buffer()
+        other._drop_window_buffer()
         for name in self._row_array_attrs():
             mine = getattr(self, name)
             theirs = getattr(other, name, None)

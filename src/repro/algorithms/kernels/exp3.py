@@ -6,6 +6,15 @@ probability computation, one uniform draw per device (CDF inversion, see
 weighted update, one block write of the recorded strategies.  Every floating
 point expression mirrors :class:`repro.algorithms.exp3.EXP3Policy` operation
 for operation, so the kernel is bit-exact with the scalar policy.
+
+On membership-stable windows the kernel additionally supports the fused
+window path: the interpreted branch (the generic
+:meth:`~repro.algorithms.kernels.base.BatchKernel.advance_window` loop,
+bit-exact), and — when numba is installed and ``REPRO_COMPILED=1`` /
+``REPRO_BENCH_COMPILED=1`` opts in — one compiled mega-loop per window
+(:mod:`repro.algorithms.kernels.compiled`, distribution-exact) that advances
+sampling, physics, reward update and recorder writes without touching the
+Python interpreter between slots.
 """
 
 from __future__ import annotations
@@ -15,9 +24,12 @@ import numpy as np
 from repro.algorithms.kernels.base import (
     BatchKernel,
     SlotFeedback,
+    WindowPlan,
     sample_rows,
     sequential_row_sum,
 )
+from repro.algorithms.kernels.compiled import exp3_window_kernel
+from repro.xp import asnumpy
 
 _NO_GAMMA = -1.0  # sentinel: decaying gamma (fixed gammas are in (0, 1])
 
@@ -25,20 +37,27 @@ _NO_GAMMA = -1.0  # sentinel: decaying gamma (fixed gammas are in (0, 1])
 class EXP3Kernel(BatchKernel):
     """Array-native EXP3 over all devices of one group."""
 
+    uses_slot_draws = True
+
     def __init__(self, entries, recorder) -> None:
         super().__init__(entries, recorder)
         policies = self.policies
+        xp = self.xp
         # EXP3Policy keeps its weights as an array aligned with
         # available_networks (exposed as weight_values), so the gather is a
         # plain row stack.
-        self.weights = np.stack([p.weight_values for p in policies])
-        self.rounds = np.asarray([p._round for p in policies], dtype=np.int64)
-        self.fixed_gamma = np.asarray(
-            [
-                _NO_GAMMA if p._fixed_gamma is None else p._fixed_gamma
-                for p in policies
-            ],
-            dtype=float,
+        self.weights = xp.asarray(np.stack([p.weight_values for p in policies]))
+        self.rounds = xp.asarray(
+            np.asarray([p._round for p in policies], dtype=np.int64)
+        )
+        self.fixed_gamma = xp.asarray(
+            np.asarray(
+                [
+                    _NO_GAMMA if p._fixed_gamma is None else p._fixed_gamma
+                    for p in policies
+                ],
+                dtype=float,
+            )
         )
         self._probs: np.ndarray | None = None
         self._last_local = np.zeros(self.size, dtype=np.intp)
@@ -51,30 +70,32 @@ class EXP3Kernel(BatchKernel):
         count (device cohorts share rounds, so this loop is O(1) in practice),
         matching ``EXP3Policy._gamma`` bit for bit.
         """
+        xp = self.xp
         gamma = self.fixed_gamma.copy()
         decay = gamma == _NO_GAMMA
         if decay.any():
-            rounds = self.rounds[decay]
+            rounds = asnumpy(self.rounds)[asnumpy(decay)]
             values = np.empty(rounds.size, dtype=float)
             for r in np.unique(rounds):
                 values[rounds == r] = min(1.0, max(int(r), 1) ** (-1.0 / 3.0))
-            gamma[decay] = values
+            gamma[decay] = xp.asarray(values)
         return gamma
 
     def begin_slot(self, slot: int) -> np.ndarray:
+        xp = self.xp
         self.rounds += 1
         gamma = self._gammas()
         weights = self.weights
-        total = np.sum(weights, axis=1)
+        total = xp.sum(weights, axis=1)
         k = self.num_networks
         probs = (1.0 - gamma)[:, None] * weights / total[:, None] + (gamma / k)[
             :, None
         ]
         self._probs = probs
-        local = sample_rows(probs, self.rngs)
+        local = sample_rows(probs, self.rngs, draws=self._take_draws(), xp=xp)
         self._last_local = local
         self._last_probability = probs[self._arange, local]
-        return self.cols[local]
+        return self.cols[asnumpy(local)]
 
     def end_slot(
         self,
@@ -83,10 +104,11 @@ class EXP3Kernel(BatchKernel):
         gains: np.ndarray,
         feedback: SlotFeedback | None = None,
     ) -> None:
+        xp = self.xp
         gamma = self._gammas()
-        estimated = gains / np.maximum(self._last_probability, 1e-12)
+        estimated = gains / xp.maximum(self._last_probability, 1e-12)
         k = self.num_networks
-        self.weights[self._arange, self._last_local] *= np.exp(
+        self.weights[self._arange, self._last_local] *= xp.exp(
             gamma * estimated / k
         )
         row_max = self.weights.max(axis=1)
@@ -97,19 +119,83 @@ class EXP3Kernel(BatchKernel):
         # the left-to-right accumulation before the block write.
         probs = self._probs
         total = sequential_row_sum(probs)
-        self.record_probability_block(slot_index, probs / total[:, None])
+        self.record_probability_block(slot_index, asnumpy(probs / total[:, None]))
+
+    def advance_window(self, window: WindowPlan) -> None:
+        """Fused window: compiled mega-loop when enabled, else interpreted.
+
+        The compiled branch engages only when every precondition holds —
+        numba compiled kernels enabled, a fully pre-drawn uniform buffer
+        covering the window, probability recording off, the NumPy namespace
+        active and no fixed-size mismatch; anything else falls back to the
+        generic interpreted loop, which stays bit-exact.
+        """
+        jitted = exp3_window_kernel()
+        draws = self._window_draws
+        if (
+            jitted is None
+            or draws is None
+            or self.recorder.probabilities is not None
+            or not isinstance(self.weights, np.ndarray)
+            or draws.shape[1] - self._window_pos < window.n_slots
+        ):
+            super().advance_window(window)
+            return
+        size = self.size
+        probs = np.empty((size, self.num_networks), dtype=float)
+        gamma_buf = np.empty(size, dtype=float)
+        counts_buf = np.zeros(window.num_networks, dtype=np.int64)
+        self._last_local = np.ascontiguousarray(self._last_local, dtype=np.intp)
+        self._last_probability = np.ascontiguousarray(
+            self._last_probability, dtype=float
+        )
+        jitted(
+            window.n_slots,
+            window.idx_lo,
+            self.weights,
+            self.rounds,
+            self.fixed_gamma,
+            draws,
+            self._window_pos,
+            self.rows,
+            self.cols,
+            window.net_ids,
+            window.bandwidths,
+            window.num_networks,
+            window.scale_ref,
+            window.prev,
+            window.delay_table,
+            window.choices2d,
+            window.rates2d,
+            window.delays2d,
+            window.switches2d,
+            self._last_local,
+            self._last_probability,
+            probs,
+            gamma_buf,
+            counts_buf,
+        )
+        self._window_pos += window.n_slots
+        if self._window_pos >= draws.shape[1]:
+            self._window_draws = None
+            self._window_pos = 0
+        self._probs = probs
 
     def flush(self) -> None:
         self._flush_rows(range(self.size))
 
     def _flush_rows(self, indices) -> None:
-        probs = self._probs
+        probs = None if self._probs is None else asnumpy(self._probs)
+        weights = asnumpy(self.weights)
+        rounds = asnumpy(self.rounds)
+        last_local = asnumpy(self._last_local)
+        last_probability = asnumpy(self._last_probability)
         for j in indices:
             policy = self.policies[j]
-            policy.weight_values[:] = self.weights[j]
-            policy._round = int(self.rounds[j])
-            policy._last_choice = self.nets[self._last_local[j]]
-            policy._last_probability = float(self._last_probability[j])
+            policy.weight_values[:] = weights[j]
+            policy._round = int(rounds[j])
+            policy._last_choice = self.nets[last_local[j]]
+            policy._last_probability = float(last_probability[j])
             if probs is not None:
                 policy._current_prob_ids = self.nets
                 policy._current_prob_values = probs[j].copy()

@@ -205,9 +205,12 @@ class SmartEXP3Kernel(BatchKernel):
         return gamma
 
     def _probability_rows(self, indices: np.ndarray) -> np.ndarray:
+        # Smart-EXP3's block machinery is data-dependent per-device control
+        # flow and stays host-bound; only the dense mixed-strategy math
+        # routes through the array-module seam.
         gamma = self._gammas(self.block_index[indices])
         weights = self.weights[indices]
-        total = np.sum(weights, axis=1)
+        total = self.xp.sum(weights, axis=1)
         k = self.num_networks
         return (1.0 - gamma)[:, None] * weights / total[:, None] + (gamma / k)[
             :, None

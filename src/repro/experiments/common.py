@@ -15,6 +15,7 @@ from repro.sim.backends import available_backends
 from repro.sim.metrics import SimulationResult
 from repro.sim.runner import run_many
 from repro.sim.scenario import Scenario
+from repro.xp import resolve_array_module
 
 #: The policies of Table II and Table III, in the order the paper lists them.
 ALL_POLICIES: tuple[str, ...] = (
@@ -85,6 +86,13 @@ class ExperimentConfig:
         invocation of the *same* experiment configuration (requires
         ``shards``); resumed results are bit-identical to an
         uninterrupted run.
+    array_module:
+        Array namespace the batched kernels compute in (:mod:`repro.xp`).
+        ``None`` (default) leaves the process-global seam untouched — NumPy
+        unless something else set it; ``"numpy"`` pins NumPy explicitly; a
+        name like ``"cupy"`` resolves that module once per experiment and
+        runs the kernel math there (distribution-exact, not bit-exact).
+        Validated eagerly so a typo fails at config time, not mid-run.
     """
 
     runs: int = 5
@@ -96,6 +104,7 @@ class ExperimentConfig:
     shards: int | None = None
     checkpoint: object | None = None
     resume_from: str | None = None
+    array_module: str | None = None
 
     def __post_init__(self) -> None:
         if self.runs < 1:
@@ -132,6 +141,8 @@ class ExperimentConfig:
                 "checkpoint/resume_from require shards= (durability is "
                 "implemented by the sharded backend)"
             )
+        if self.array_module is not None:
+            resolve_array_module(self.array_module)  # fail fast on typos
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -182,6 +193,7 @@ def run_with_config(scenario: Scenario, config: ExperimentConfig, reduce=None):
         shards=config.shards,
         checkpoint=config.checkpoint,
         resume_from=config.resume_from,
+        array_module=config.array_module,
     )
 
 

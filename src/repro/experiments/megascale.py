@@ -27,6 +27,10 @@ import os
 import sys
 import time
 
+from repro.algorithms.kernels.compiled import (
+    compiled_enabled,
+    numba_version,
+)
 from repro.analysis.reducers import SummaryReducer
 from repro.experiments.common import ExperimentConfig
 from repro.sim.sharded import (
@@ -34,6 +38,7 @@ from repro.sim.sharded import (
     HomogeneousPopulation,
     ShardedSlotExecutor,
 )
+from repro.xp import array_module_name, set_array_module
 
 #: Scaled-down defaults (the full-scale acceptance run is CLI-driven).
 DEFAULT_DEVICES = 5000
@@ -66,6 +71,7 @@ def run(
     heartbeat_seconds: float | None = 30.0,
     checkpoint: CheckpointConfig | None = None,
     resume_from: str | None = None,
+    array_module: str | None = None,
 ) -> dict:
     """One megascale population run, summarised through the shard reducer.
 
@@ -80,6 +86,10 @@ def run(
     last committed checkpoint (see ``README.md`` § Fault tolerance).
     """
     config = config or ExperimentConfig(runs=1, horizon_slots=None)
+    if array_module is None:
+        array_module = config.array_module
+    if array_module is not None:
+        set_array_module(array_module)
     slots = horizon_slots or config.horizon_slots or DEFAULT_SLOTS
     cpus = os.cpu_count() or 1
     if shards is None:
@@ -128,6 +138,9 @@ def run(
             "dtype": dtype,
             "window_slots": window_slots,
             "cpu_count": cpus,
+            "array_module": array_module_name(),
+            "compiled_kernels": compiled_enabled(),
+            "numba_version": numba_version(),
             "checkpoint_every_slots": (
                 checkpoint.every_slots if checkpoint is not None else None
             ),
@@ -184,8 +197,23 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="resume bit-exact from the last committed checkpoint in DIR",
     )
+    parser.add_argument(
+        "--array-module",
+        default=None,
+        help="array namespace for the kernel math (e.g. numpy, cupy); "
+        "non-NumPy namespaces are distribution-exact, not bit-exact",
+    )
+    parser.add_argument(
+        "--compiled",
+        action="store_true",
+        help="opt into the numba-compiled slot kernels (REPRO_COMPILED=1); "
+        "falls back to the interpreted path with a warning when numba is "
+        "not installed",
+    )
     parser.add_argument("--json", default=None, help="write the payload here")
     args = parser.parse_args(argv)
+    if args.compiled:
+        os.environ["REPRO_COMPILED"] = "1"
 
     logging.basicConfig(
         level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
@@ -210,6 +238,7 @@ def main(argv=None) -> int:
             else None
         ),
         resume_from=args.resume,
+        array_module=args.array_module,
     )
     text = json.dumps(payload, indent=2)
     print(text)

@@ -1,0 +1,126 @@
+"""Lightweight per-phase run profiling (``REPRO_PROFILE=1``).
+
+Both batched executors accumulate wall time into named phases — sampling /
+physics / reward / recorder / delays / fused windows, plus bus-exchange and
+checkpointing on the sharded path — and emit one JSON object per run when
+the environment opts in:
+
+* ``REPRO_PROFILE=1`` enables the hook (default off: the executors carry a
+  single ``is None`` check per phase, nothing else);
+* ``REPRO_PROFILE_PATH=<file>`` appends one JSON line per run there instead
+  of printing to stderr (append mode, so multi-run experiments and sharded
+  worker processes interleave whole lines).
+
+The payload shape::
+
+    {"tag": "vectorized", "scenario": "...", "devices": N, "slots": T,
+     "seconds": {"sampling": ..., "physics": ...}, "share": {...},
+     "total_seconds": ..., "device_slots_per_second": ...}
+
+Future perf work should trust these numbers instead of guessing; the
+benchmark suites (``--suite compiled``) embed the same phase names.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+PROFILE_ENV = "REPRO_PROFILE"
+PROFILE_PATH_ENV = "REPRO_PROFILE_PATH"
+
+#: Canonical phase names, in reporting order.
+PHASES = (
+    "sampling",
+    "physics",
+    "reward",
+    "recorder",
+    "delays",
+    "fused_window",
+    "bus_exchange",
+    "checkpoint",
+    "other",
+)
+
+
+def profiling_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` opts this process into phase timing."""
+    return os.environ.get(PROFILE_ENV, "") not in ("", "0", "false", "no")
+
+
+class PhaseProfile:
+    """Wall-time accumulator for one run's execution phases.
+
+    Explicit ``perf_counter`` bracketing (``t = now(); ...; add(name, t)``)
+    instead of context managers: the hot loop pays two attribute lookups and
+    one float add per phase, no generator/``with`` machinery.
+    """
+
+    __slots__ = ("tag", "seconds", "started", "slots", "devices")
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+        self.seconds: dict[str, float] = {}
+        self.started = time.perf_counter()
+        self.slots = 0
+        self.devices = 0
+
+    @staticmethod
+    def now() -> float:
+        return time.perf_counter()
+
+    def add(self, phase: str, since: float) -> float:
+        """Charge ``now - since`` to ``phase``; returns the new timestamp."""
+        now = time.perf_counter()
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + (now - since)
+        return now
+
+    def payload(self, scenario: str | None = None, **extra) -> dict:
+        total = time.perf_counter() - self.started
+        tracked = sum(self.seconds.values())
+        seconds = {
+            name: round(self.seconds[name], 6)
+            for name in PHASES
+            if name in self.seconds
+        }
+        seconds["other"] = round(
+            seconds.get("other", 0.0) + max(total - tracked, 0.0), 6
+        )
+        share = {
+            name: round(value / total, 4) if total > 0 else 0.0
+            for name, value in seconds.items()
+        }
+        device_slots = self.devices * self.slots
+        payload = {
+            "tag": self.tag,
+            "scenario": scenario,
+            "devices": self.devices,
+            "slots": self.slots,
+            "total_seconds": round(total, 6),
+            "seconds": seconds,
+            "share": share,
+            "device_slots_per_second": (
+                round(device_slots / total, 1) if total > 0 else None
+            ),
+        }
+        payload.update(extra)
+        return payload
+
+    def emit(self, scenario: str | None = None, **extra) -> dict:
+        """Serialise the breakdown to stderr or ``REPRO_PROFILE_PATH``."""
+        payload = self.payload(scenario, **extra)
+        line = json.dumps(payload, sort_keys=True)
+        path = os.environ.get(PROFILE_PATH_ENV)
+        if path:
+            with open(path, "a") as handle:
+                handle.write(line + "\n")
+        else:
+            print(f"REPRO_PROFILE {line}", file=sys.stderr)
+        return payload
+
+
+def profile_run(tag: str) -> PhaseProfile | None:
+    """A fresh :class:`PhaseProfile` when profiling is enabled, else ``None``."""
+    return PhaseProfile(tag) if profiling_enabled() else None

@@ -17,6 +17,9 @@ fast they get there:
 * ``"vectorized-nokernel"`` — the same backend with the kernel layer
   disabled (every learning policy on the per-device scalar path); exists so
   benchmarks can measure the kernel layer in isolation.
+* ``"vectorized-nofuse"`` — the vectorized backend with fused multi-slot
+  windows disabled (kernels advance one slot at a time); the per-slot
+  baseline the compiled-kernel benchmark suite measures against.
 * ``"sharded"`` — :class:`~repro.sim.sharded.ShardedSlotExecutor`, the
   device-axis sharded engine (:mod:`repro.sim.sharded`): K shards running
   the kernel/churn machinery locally, synchronised once per slot by an
@@ -66,6 +69,7 @@ _BACKENDS: dict[str, Callable[[], SlotExecutor]] = {
     EventSlotExecutor.name: EventSlotExecutor,
     VectorizedSlotExecutor.name: VectorizedSlotExecutor,
     "vectorized-nokernel": lambda: VectorizedSlotExecutor(use_kernels=False),
+    "vectorized-nofuse": lambda: VectorizedSlotExecutor(fuse_windows=False),
     "sharded": _sharded_factory,
 }
 

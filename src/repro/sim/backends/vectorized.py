@@ -53,8 +53,9 @@ import numpy as np
 
 import repro.algorithms.kernels  # noqa: F401  (registers the built-in kernels)
 from repro.algorithms.base import Observation
-from repro.algorithms.kernels.base import SlotFeedback
+from repro.algorithms.kernels.base import SlotFeedback, WindowPlan
 from repro.game.gain import EqualShareModel
+from repro.profiling import profile_run
 from repro.sim.backends.base import SlotExecutor, prepare_run
 from repro.sim.backends.membership import (
     FALLBACK as _FALLBACK,
@@ -65,17 +66,32 @@ from repro.sim.backends.membership import (
 from repro.sim.metrics import SimulationResult
 from repro.sim.scenario import Scenario
 
+#: Uniform doubles buffered per :meth:`BatchKernel.prepare_window` call; caps
+#: window length at ``budget // group_size`` so a million-device group still
+#: buffers a handful of slots (~32 MB) instead of the whole horizon.
+_DRAW_BUDGET = 4_000_000
+
 
 class VectorizedSlotExecutor(SlotExecutor):
     """Batched per-slot physics with in-loop topology edits and policy kernels."""
 
     name = "vectorized"
 
-    def __init__(self, use_kernels: bool = True) -> None:
+    def __init__(
+        self, use_kernels: bool = True, fuse_windows: bool = True
+    ) -> None:
         #: When False, every learning policy takes the per-device scalar path;
         #: kept addressable as the ``"vectorized-nokernel"`` backend so
         #: benchmarks can measure the kernel layer in isolation.
         self.use_kernels = use_kernels
+        #: When True (default), membership-stable epochs whose every active
+        #: device belongs to one kernel on closed-form equal-share physics
+        #: with a stream-free delay model advance through
+        #: :meth:`BatchKernel.advance_window` — the fused window path
+        #: (interpreted: bit-exact; compiled via numba when opted in:
+        #: distribution-exact).  ``fuse_windows=False`` is the per-slot
+        #: baseline the compiled benchmark suite measures against.
+        self.fuse_windows = fuse_windows and use_kernels
         if not use_kernels:
             self.name = "vectorized-nokernel"
 
@@ -107,6 +123,18 @@ class VectorizedSlotExecutor(SlotExecutor):
         # other gain model goes through the environment for bit-exactness.
         fast_physics = type(scenario.gain_model) is EqualShareModel
         any_full_feedback = state.any_full_feedback
+        prof = profile_run(self.name)
+
+        # Stream-free delay models (NoDelay, Constant) draw nothing from the
+        # environment RNG, so a per-network-column table replaces the
+        # per-switcher sampling calls bit-exactly — both in the slot loop and
+        # on the fused window path.
+        delay_table = None
+        if getattr(scenario.delay_model, "stream_free", False):
+            delay_table = np.asarray(
+                [environment.switching_delay(int(n)) for n in net_ids],
+                dtype=float,
+            )
 
         choices2d = recorder.choices
         rates2d = recorder.rates
@@ -231,19 +259,90 @@ class VectorizedSlotExecutor(SlotExecutor):
                 prev_col[act_rows] = act_cols
                 continue
 
+            # ---- fused window path: one kernel covering every active row on
+            # closed-form physics with a stream-free delay model advances the
+            # whole epoch through BatchKernel.advance_window (pre-drawn
+            # uniforms, bincount physics, table delays, block recorder writes
+            # — no per-slot executor bookkeeping).  Windows are capped by the
+            # draw-buffer budget and truncate at epoch boundaries, so the
+            # uniform buffers are always exhausted when topology edits fire.
+            if (
+                self.fuse_windows
+                and fast_physics
+                and not need_feedback
+                and delay_table is not None
+                and not fallback
+                and frozen_act.size == 0
+                and len(epoch_kernels) == 1
+                and kernel_pos[id(epoch_kernels[0])] is None
+                and seg_end - seg_start >= 2
+            ):
+                kernel = epoch_kernels[0]
+                window_cap = max(2, _DRAW_BUDGET // max(kernel.size, 1))
+                prev = prev_col[kernel.rows].copy()
+                t0 = prof.now() if prof is not None else 0.0
+                slot = seg_start
+                while slot < seg_end:
+                    width = min(seg_end - slot, window_cap)
+                    kernel.prepare_window(width)
+                    kernel.advance_window(
+                        WindowPlan(
+                            start_slot=slot,
+                            n_slots=width,
+                            idx_lo=slot - 1,
+                            net_ids=net_ids,
+                            bandwidths=bandwidths,
+                            num_networks=num_networks,
+                            scale_ref=scale_ref,
+                            delay_table=delay_table,
+                            prev=prev,
+                            choices2d=choices2d,
+                            rates2d=rates2d,
+                            delays2d=delays2d,
+                            switches2d=switches2d,
+                        )
+                    )
+                    slot += width
+                prev_col[kernel.rows] = prev
+                if prof is not None:
+                    prof.add("fused_window", t0)
+                continue
+
             # ---- per-slot loop
+            # Hoisted per-epoch state (satellite micro-opts): the kernel/
+            # position pairs so the slot loop never re-reads the kernel_pos
+            # dict, and the draw-window refill list for kernels that consume
+            # one uniform per row per slot (the refills replace the per-slot
+            # per-row generator calls inside sample_rows).
+            kernel_entries = [
+                (kernel, kernel_pos[id(kernel)]) for kernel in epoch_kernels
+            ]
+            draw_spans = [
+                (kernel, max(1, _DRAW_BUDGET // max(kernel.size, 1)))
+                for kernel in epoch_kernels
+                if kernel.uses_slot_draws
+            ]
             prev_live: np.ndarray | None = None
             for slot in range(seg_start, seg_end):
                 slot_index = slot - 1
                 first = slot == seg_start
+                if prof is not None:
+                    t = prof.now()
 
                 # Phase 1: selection (kernels batched, fallback per device).
+                # Refill exhausted draw windows first, sized to end exactly at
+                # the epoch boundary so membership edits never drop live draws.
+                for kernel, cap in draw_spans:
+                    if kernel.window_exhausted:
+                        kernel.prepare_window(min(cap, seg_end - slot))
                 for kernel in epoch_kernels:
                     choice_col[kernel.rows] = kernel.begin_slot(slot)
                 for row, _runtime, policy, _pos in fallback:
                     choice_col[row] = network_col[policy.begin_slot(slot)]
                 act_cols = choice_col[act_rows]
                 cur_live = act_cols if all_live else choice_col[live_rows]
+                if prof is not None:
+                    t = prof.add("sampling", t)
 
                 # Phase 2: realised rates.
                 counts_dict = None
@@ -267,12 +366,16 @@ class VectorizedSlotExecutor(SlotExecutor):
                         [realised[device_ids[row]] for row in act_rows],
                         dtype=float,
                     )
+                if prof is not None:
+                    t = prof.add("physics", t)
                 if all_active:
                     rates2d[:, slot_index] = rates_act
                 else:
                     rates2d[act_rows, slot_index] = rates_act
                 if live_rows.size:
                     choices2d[live_rows, slot_index] = net_ids[cur_live]
+                if prof is not None:
+                    t = prof.add("recorder", t)
 
                 # Phase 3: feedback and recording.
                 gains_act = np.minimum(rates_act / scale_ref, 1.0)
@@ -290,6 +393,8 @@ class VectorizedSlotExecutor(SlotExecutor):
                         feedback = SlotFeedback(
                             counts=counts_dict, environment=environment
                         )
+                if prof is not None:
+                    t = prof.add("physics", t)
 
                 # Switching delays consume the environment RNG per switching
                 # device in ascending device order, exactly as the reference
@@ -311,9 +416,16 @@ class VectorizedSlotExecutor(SlotExecutor):
                 delay_of: dict[int, float] = {}
                 if switched.any():
                     switcher_rows = check_rows[switched]
-                    delays = environment.switching_delays(
-                        net_ids[cur[switched]].tolist()
-                    )
+                    if delay_table is not None:
+                        # Stream-free model: table lookup, no RNG, no
+                        # per-switcher Python loop inside the delay model.
+                        delays = delay_table[cur[switched]]
+                        if fallback:
+                            delays = delays.tolist()
+                    else:
+                        delays = environment.switching_delays(
+                            net_ids[cur[switched]].tolist()
+                        )
                     delays2d[switcher_rows, slot_index] = delays
                     switches2d[switcher_rows, slot_index] = True
                     if fallback:
@@ -321,9 +433,10 @@ class VectorizedSlotExecutor(SlotExecutor):
                         # recorder's (possibly float32) stored copies.
                         delay_of = dict(zip(switcher_rows.tolist(), delays))
                 prev_live = cur_live
+                if prof is not None:
+                    t = prof.add("delays", t)
 
-                for kernel in epoch_kernels:
-                    positions = kernel_pos[id(kernel)]
+                for kernel, positions in kernel_entries:
                     kernel.end_slot(
                         slot,
                         slot_index,
@@ -362,6 +475,8 @@ class VectorizedSlotExecutor(SlotExecutor):
                     )
                     runtime.previous_choice = network_id
                     recorder.record_probabilities(row, slot_index, policy)
+                if prof is not None:
+                    prof.add("reward", t)
 
             # Re-sync the loop-local previous columns so the next boundary's
             # switch detection (and the final flush) see the epoch's outcome.
@@ -376,4 +491,8 @@ class VectorizedSlotExecutor(SlotExecutor):
             for runtime, local_row in zip(kernel.runtimes, kernel.rows):
                 runtime.previous_choice = int(net_ids[prev_col[local_row]])
 
+        if prof is not None:
+            prof.devices = num_devices
+            prof.slots = num_slots
+            prof.emit(scenario=getattr(scenario, "name", None), seed=seed)
         return state.finish()

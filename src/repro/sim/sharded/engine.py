@@ -37,6 +37,8 @@ per-slot counterpart of :class:`~repro.sim.backends.vectorized.VectorizedSlotExe
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 import numpy as np
 
 import repro.algorithms.kernels  # noqa: F401  (registers the built-in kernels)
@@ -49,6 +51,11 @@ from repro.sim.sharded.plan import ShardSpec
 
 
 _U64 = (1 << 64) - 1
+
+#: Uniform doubles buffered per kernel draw window (mirrors the vectorized
+#: backend's budget): caps the window so a large shard buffers a few slots
+#: of pre-drawn uniforms, not the whole horizon.
+_DRAW_BUDGET = 4_000_000
 
 
 def _pack_rng_states(policies) -> tuple:
@@ -203,6 +210,11 @@ class ShardEngine:
         self._act_cols = np.empty(0, dtype=np.intp)
         self._rates_act = np.empty(0, dtype=float)
         self._switch_rows = np.empty(0, dtype=np.intp)
+        #: Checkpoint cadence in slots (set by the executor when durability
+        #: is on): kernel draw windows truncate here so a snapshot never has
+        #: to carry a partially consumed uniform buffer.
+        self.draw_barrier_every: int | None = None
+        self._event_slot_list = sorted(self.topology.events)
 
     # ------------------------------------------------------- checkpointing
     #
@@ -288,6 +300,12 @@ class ShardEngine:
         self._kernel_pos = {}
         self._fallback_list = []
         self._layout_dirty = True
+        # Snapshots written by older engine versions predate the draw-window
+        # machinery; default it off and rebuild the event-slot index.
+        self.__dict__.setdefault("draw_barrier_every", None)
+        self.__dict__.setdefault(
+            "_event_slot_list", sorted(self.topology.events)
+        )
         recorder = self.__dict__.get("recorder")
         if isinstance(recorder, _RecorderStub):
             recorder = SlotRecorder(
@@ -371,6 +389,27 @@ class ShardEngine:
 
     # ---------------------------------------------------------- slot phases
 
+    def _draw_span(self, slot: int, size: int) -> int:
+        """Draw-window length starting at ``slot`` for a ``size``-row kernel.
+
+        Lockstep synchronisation keeps the *slot protocol* per slot, but the
+        per-row uniform draws can still be amortised: the window covers the
+        membership-stable span ahead, truncated at the next topology event
+        (a membership edit with live buffered draws is a stream-contract
+        violation), at the next checkpoint barrier (snapshots stay free of
+        half-consumed buffers) and by the draw-buffer memory budget.
+        """
+        span = self.num_slots - slot + 1
+        events = self._event_slot_list
+        pos = bisect_right(events, slot)
+        if pos < len(events):
+            span = min(span, events[pos] - slot)
+        every = self.draw_barrier_every
+        if every:
+            barrier = ((slot + every - 1) // every) * every
+            span = min(span, barrier - slot + 1)
+        return max(1, min(span, _DRAW_BUDGET // max(size, 1)))
+
     def begin(self, slot: int) -> np.ndarray:
         """Phase 1: selection.  Returns local per-network occupancy counts."""
         membership = self.membership
@@ -381,6 +420,8 @@ class ShardEngine:
 
         choice_col = self.choice_col
         for kernel in membership.kernels_by_key.values():
+            if kernel.uses_slot_draws and kernel.window_exhausted:
+                kernel.prepare_window(self._draw_span(slot, kernel.size))
             choice_col[kernel.rows] = kernel.begin_slot(slot)
         network_col = self.network_col
         for row in sorted(membership.fallback_rows):

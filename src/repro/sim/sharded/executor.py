@@ -62,6 +62,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.game.gain import EqualShareModel
+from repro.profiling import profile_run
 from repro.sim.backends.base import SlotExecutor, derive_run_streams
 from repro.sim.backends.membership import equal_share_feedback
 from repro.sim.environment import WirelessEnvironment
@@ -238,23 +239,35 @@ def _run_group(
         states = [None] * len(engines)
     window = params.window
     checkpoint = params.checkpoint
+    if checkpoint is not None:
+        # Kernel draw windows must be exhausted whenever a snapshot is
+        # written, so the engines truncate them at the checkpoint cadence.
+        for engine in engines:
+            engine.draw_barrier_every = checkpoint.every_slots
     fault_plan = params.fault_plan
     group_devices = sum(len(engine.device_ids) for engine in engines)
+    prof = profile_run(f"sharded-worker{worker_index}")
     started = time.monotonic()
     last_beat = started
 
     for slot in range(start_slot, num_slots + 1):
         _maybe_inject_kill(params, worker_index, slot, "begin", allow_hard_exit)
+        if prof is not None:
+            t = prof.now()
         local_counts = engines[0].begin(slot)
         if len(engines) > 1:
             local_counts = local_counts.copy()
             for engine in engines[1:]:
                 local_counts += engine.begin(slot)
+        if prof is not None:
+            t = prof.add("sampling", t)
         if fault_plan is not None:
             stall = fault_plan.delay_for(worker_index, slot, params.attempt)
             if stall:
                 time.sleep(stall)
         counts = bus.reduce_counts(slot, local_counts)
+        if prof is not None:
+            t = prof.add("bus_exchange", t)
         _maybe_inject_kill(params, worker_index, slot, "mid", allow_hard_exit)
 
         per_engine_switchers: list[int] = []
@@ -276,6 +289,8 @@ def _run_group(
             if group_nets
             else np.empty(0, dtype=np.int64)
         )
+        if prof is not None:
+            t = prof.add("physics", t)
 
         if params.coupled:
             # Stochastic delay model: every worker replays the *global*
@@ -302,6 +317,8 @@ def _run_group(
             ]
         else:
             group_delays = np.empty(0, dtype=float)
+        if prof is not None:
+            t = prof.add("delays", t)
 
         member_gain = join_gain = None
         if needs_feedback:
@@ -318,6 +335,8 @@ def _run_group(
                 join_gain,
             )
             position += switcher_count
+        if prof is not None:
+            t = prof.add("reward", t)
 
         if reducer is not None and (
             slot - window_start == window or slot == num_slots
@@ -333,6 +352,8 @@ def _run_group(
                 states[index] = reducer.shard_map(shard_window, states[index])
                 engine.reset_window(slot)
             window_start = slot
+            if prof is not None:
+                t = prof.add("recorder", t)
 
         if checkpoint is not None and slot % checkpoint.every_slots == 0:
             # Snapshot after the window flush so the manifest's cursors and
@@ -361,6 +382,8 @@ def _run_group(
                 if fault_plan is not None:
                     for fault in fault_plan.corruptions_at(slot):
                         _garble_checkpoint_file(checkpoint, slot, fault.shard)
+            if prof is not None:
+                t = prof.add("checkpoint", t)
 
         _maybe_inject_kill(params, worker_index, slot, "end", allow_hard_exit)
 
@@ -380,6 +403,14 @@ def _run_group(
 
     for engine in engines:
         engine.flush_policies()
+    if prof is not None:
+        prof.devices = group_devices
+        prof.slots = num_slots
+        prof.emit(
+            scenario=engines[0].scenario.name,
+            seed=params.seed_label,
+            shards=len(engines),
+        )
     if reducer is not None:
         return states
     return [engine.result() for engine in engines]

@@ -1,0 +1,116 @@
+"""The pluggable array-module seam.
+
+Every hot-path array program in the repository — the batched policy kernels
+(:mod:`repro.algorithms.kernels`), the shared membership physics
+(:mod:`repro.sim.backends.membership`) and both batched executors
+(:mod:`repro.sim.backends.vectorized`, :mod:`repro.sim.sharded.engine`) —
+resolves its array namespace through this module instead of importing NumPy
+directly.  The default namespace *is* NumPy (``get_array_module() is numpy``
+unless configured otherwise), so the seam is free on the reference path:
+the executors bind the very same module object they always used and every
+result stays bit-exact.
+
+Swapping the namespace makes the hot loop run on any NumPy-compatible array
+library — CuPy, or an Array-API namespace exposing the NumPy-style call
+surface (``asarray`` / ``zeros`` / ``bincount`` / ufuncs / fancy indexing):
+
+* per run: ``run_simulation(..., array_module="cupy")`` /
+  ``run_many(..., array_module=...)`` /
+  ``ExperimentConfig(array_module=...)``;
+* per bench invocation: ``REPRO_BENCH_ARRAY_MODULE=cupy`` (read by
+  ``benchmarks/conftest.py``);
+* imperatively: :func:`set_array_module` or the :func:`using_array_module`
+  context manager.
+
+Scope and guarantees (see README § "Compiled fast path & array modules"):
+
+* **NumPy (default)** — bit-exact, the reference semantics.
+* **CuPy / Array-API namespaces** — *distribution-exact*: the per-device RNG
+  streams remain NumPy generators on the host (an accelerator library brings
+  its own bit generators, so draw-for-draw replication is impossible by
+  construction), and recorder blocks stay host-resident NumPy storage —
+  device arrays are converted at the recorder boundary via :func:`asnumpy`.
+
+The resolved namespace is process-global and read once per run by each
+executor; worker processes forked by ``run_many`` / the sharded executor
+inherit it.
+"""
+
+from __future__ import annotations
+
+import importlib
+from contextlib import contextmanager
+from types import ModuleType
+
+import numpy as np
+
+#: The active array namespace.  NumPy unless reconfigured.
+_active: ModuleType = np
+
+
+def resolve_array_module(spec: str | ModuleType | None) -> ModuleType:
+    """Resolve ``spec`` to an array namespace.
+
+    ``None`` / ``"numpy"`` → NumPy; a module object is returned as is; any
+    other string is imported (``"cupy"``, ``"array_api_strict"``, …).  A
+    namespace must expose the NumPy-style call surface the kernels use;
+    :class:`ImportError` propagates with the requested name so callers can
+    report the missing optional dependency.
+    """
+    if spec is None:
+        return np
+    if isinstance(spec, ModuleType):
+        return spec
+    name = str(spec)
+    if name in ("numpy", "np", ""):
+        return np
+    try:
+        return importlib.import_module(name)
+    except ImportError as exc:
+        raise ImportError(
+            f"array_module={name!r} is not importable ({exc}); install it or "
+            "use the default NumPy namespace (array_module=None)"
+        ) from exc
+
+
+def get_array_module() -> ModuleType:
+    """The active array namespace (resolved once per run by the executors)."""
+    return _active
+
+
+def set_array_module(spec: str | ModuleType | None) -> ModuleType:
+    """Set the process-global array namespace; returns the *previous* one."""
+    global _active
+    previous = _active
+    _active = resolve_array_module(spec)
+    return previous
+
+
+def array_module_name() -> str:
+    """The active namespace's import name (``"numpy"`` on the default path)."""
+    return _active.__name__
+
+
+@contextmanager
+def using_array_module(spec: str | ModuleType | None):
+    """Context manager: run a block under a different array namespace."""
+    previous = set_array_module(spec)
+    try:
+        yield _active
+    finally:
+        set_array_module(previous)
+
+
+def asnumpy(array):
+    """Return ``array`` as a NumPy ``ndarray`` (host memory).
+
+    Identity on the default path (``get_array_module() is numpy``); for
+    accelerator namespaces it funnels device arrays through ``.get()``
+    (CuPy) or ``numpy.asarray`` at the recorder-write boundary.
+    """
+    if _active is np or isinstance(array, np.ndarray):
+        return array
+    getter = getattr(array, "get", None)
+    if getter is not None:  # CuPy device array
+        return getter()
+    return np.asarray(array)

@@ -17,6 +17,13 @@ attributable to the kernel layer alone.  The suite also pins the two
 replication primitives the contract relies on (single-uniform CDF inversion
 vs. ``Generator.choice`` and sequential vs. pairwise summation) and the
 stream-stability of the batched switching-delay sampler.
+
+The opt-in compiled window tier (:mod:`repro.algorithms.kernels.compiled`)
+is itself a ``distribution-exact`` implementation, so it goes through the
+same statistical branch — against the event oracle — via the pure-Python
+reference body that numba compiles (and the jitted kernel where numba is
+installed; see ``tests/test_compiled_windows.py`` for the full fused-window
+coverage).
 """
 
 from __future__ import annotations
@@ -319,6 +326,51 @@ class TestDistributionExactKernel:
         kernel = run_simulation(scenario, seed=3, backend="vectorized")
         for device_id in kernel.device_ids:
             assert np.allclose(kernel.probabilities[device_id].sum(axis=1), 1.0)
+
+
+class TestCompiledKernelEquivalence:
+    """The compiled EXP3 window tier under the kernel-equivalence frame.
+
+    The compiled mega-loop replays the same uniform draw stream as the
+    scalar policies but runs its transcendentals through a different libm,
+    so it is held to the ``distribution-exact`` contract — here against the
+    event backend, the reference oracle.
+    """
+
+    def _scenario(self):
+        from tests.test_compiled_windows import stream_free
+
+        return stream_free(
+            setting2_scenario(policy="exp3", num_devices=8, horizon_slots=350)
+        )
+
+    def test_compiled_reference_vs_event_oracle(self, monkeypatch):
+        from tests.test_compiled_windows import (
+            assert_distribution_exact,
+            install_reference_compiled_kernel,
+        )
+
+        scenario = self._scenario()
+        event = run_simulation(
+            scenario, seed=13, backend="event", record_probabilities=False
+        )
+        calls = install_reference_compiled_kernel(monkeypatch)
+        compiled = run_simulation(
+            scenario, seed=13, backend="vectorized", record_probabilities=False
+        )
+        assert calls["n"] >= 1
+        assert_distribution_exact(event, compiled)
+
+    def test_interpreted_tier_remains_the_default(self):
+        # Without the explicit opt-in the vectorized backend must stay on
+        # the interpreted (bit-exact) tier even where fusion engages.
+        from repro.algorithms.kernels.compiled import compiled_enabled
+
+        assert not compiled_enabled()
+        scenario = self._scenario()
+        event = run_simulation(scenario, seed=13, backend="event")
+        vectorized = run_simulation(scenario, seed=13, backend="vectorized")
+        assert_results_identical(event, vectorized)
 
 
 class TestFallbackPolicies:
