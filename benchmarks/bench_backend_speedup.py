@@ -74,6 +74,20 @@ Four suites, selected with ``--suite``:
     barrier timeout instead of hanging.  All three checks must pass
     (``meets_floor``).  Tracked by the CI fault-injection smoke job.
 
+``registry``
+    The run registry (:mod:`repro.registry`): a fig06-scale stability sweep
+    at reduced scale (two device counts × ``--runs`` seeds) executed cold
+    into a throwaway store, then re-executed warm.  The warm sweep must
+    perform **zero simulations** (every cell served from the store) and be
+    at least ``--floor`` (default 20x) faster than the cold sweep; a
+    partially-warmed store (one case's cells deleted) must recompute only
+    the missing cells; and every phase's merged reducer output must be
+    value-bit-identical (canonical-JSON byte equality — floats print their
+    shortest round-trip repr, so equal bytes means equal bits).  The
+    speedup floor only gates on multi-core hosts; the zero-simulation and
+    bit-identity checks always apply.  Tracked as
+    ``BENCH_run_registry.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py
@@ -95,6 +109,8 @@ Usage::
         --json BENCH_sharded_population.json
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
         --suite faults --devices 2000 --slots 60 --workers 2
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
+        --suite registry --json BENCH_run_registry.json
 """
 
 from __future__ import annotations
@@ -1061,6 +1077,184 @@ def format_faults_report(payload: dict) -> str:
     return "\n".join(lines)
 
 
+#: Registry-suite defaults: a reduced-scale fig06 stability sweep — two
+#: device counts (``devices // 2`` and ``devices``) × REGISTRY_RUNS seeds.
+REGISTRY_POLICY = "smart_exp3_no_reset"
+REGISTRY_NUM_DEVICES = 20
+REGISTRY_HORIZON_SLOTS = 400
+REGISTRY_RUNS = 3
+#: Acceptance floor: the warm (fully cached) sweep must be at least this
+#: much faster than the cold sweep (multi-core hosts only; the
+#: zero-simulation and bit-identity checks gate everywhere).
+REGISTRY_SPEEDUP_FLOOR = 20.0
+
+
+def _sweep_canonical_json(report) -> str:
+    """Canonical JSON of a sweep's finalized outputs (value bit-identity).
+
+    Floats serialize as their shortest round-trip repr, which is bijective
+    with the underlying double — byte-equal JSON therefore means every
+    value is bit-identical, independent of pickle object-graph artifacts
+    (a loaded artifact does not share key-string objects with a freshly
+    computed one, so raw pickle bytes are not comparable).
+    """
+    rows = {
+        name: list(summaries.rows) for name, summaries in report.results.items()
+    }
+    return json.dumps(rows, sort_keys=True)
+
+
+def run_registry_benchmark(
+    policy: str = REGISTRY_POLICY,
+    num_devices: int = REGISTRY_NUM_DEVICES,
+    horizon: int = REGISTRY_HORIZON_SLOTS,
+    runs: int = REGISTRY_RUNS,
+    workers: int | None = None,
+    floor: float = REGISTRY_SPEEDUP_FLOOR,
+) -> dict:
+    """Cold vs warm vs partially-warm sweep through the run registry."""
+    import shutil
+    import tempfile
+
+    from repro.registry import CacheSpec, RunStore
+    from repro.registry.sweep import expand_grid, run_sweep
+    from repro.sim.scenario import scalability_scenario
+
+    device_grid = tuple(sorted({max(2, num_devices // 2), num_devices}))
+
+    def factory(num_devices: int):
+        return scalability_scenario(
+            num_devices=num_devices,
+            num_networks=3,
+            policy=policy,
+            horizon_slots=horizon,
+        )
+
+    cases = expand_grid(factory, {"num_devices": device_grid}, runs=runs)
+    cells_total = sum(case.runs for case in cases)
+    root = tempfile.mkdtemp(prefix="repro-registry-bench-")
+    try:
+        def sweep(store: RunStore):
+            return run_sweep(
+                cases,
+                reduce="stability",
+                cache=CacheSpec(mode="reuse", store=store),
+                workers=workers,
+            )
+
+        cold_store = RunStore(root)
+        cold = sweep(cold_store)
+        warm_store = RunStore(root)  # fresh instance: clean traffic counters
+        warm = sweep(warm_store)
+
+        # Partially warm: drop one case's committed cells, sweep again —
+        # only those cells may recompute, and the merged output must match.
+        partial_store = RunStore(root)
+        dropped_case = cases[-1].scenario.name
+        dropped = [
+            fingerprint
+            for fingerprint, meta, _ in partial_store.entries()
+            if meta.get("summary", {}).get("scenario") == dropped_case
+        ]
+        for fingerprint in dropped:
+            partial_store.delete(fingerprint)
+        partial = sweep(partial_store)
+
+        store_bytes = sum(size for _, _, size in RunStore(root).entries())
+        canonical = _sweep_canonical_json(cold)
+        bit_identical = (
+            _sweep_canonical_json(warm) == canonical
+            and _sweep_canonical_json(partial) == canonical
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    zero_simulations = (
+        warm.cells_computed == 0
+        and warm_store.misses == 0
+        and warm_store.stored == 0
+    )
+    partial_incremental = (
+        partial.cells_computed == len(dropped)
+        and partial_store.stored == len(dropped)
+        and partial.cells_cached == cells_total - len(dropped)
+    )
+    speedup = cold.seconds / max(warm.seconds, 1e-9)
+    floor_applicable = _multicore()
+    meets_floor = (
+        zero_simulations
+        and bit_identical
+        and partial_incremental
+        and (speedup >= floor or not floor_applicable)
+    )
+    rows = [
+        {
+            "phase": phase,
+            "seconds": report.seconds,
+            "cells_total": report.cells_total,
+            "cells_cached": report.cells_cached,
+            "cells_computed": report.cells_computed,
+        }
+        for phase, report in (
+            ("cold", cold), ("warm", warm), ("partial", partial),
+        )
+    ]
+    return {
+        "suite": "registry",
+        "scenario": f"scalability sweep devices={device_grid}",
+        **bench_header(),
+        "policy": policy,
+        "device_grid": list(device_grid),
+        "runs_per_case": runs,
+        "horizon_slots": horizon,
+        "reducer": "stability",
+        "store_bytes": store_bytes,
+        "cells_dropped_for_partial": len(dropped),
+        "rows": rows,
+        "headline": {
+            "warm_speedup": speedup,
+            "floor": floor,
+            "floor_applicable": floor_applicable,
+            "zero_simulations": zero_simulations,
+            "bit_identical": bit_identical,
+            "partial_incremental": partial_incremental,
+            "meets_floor": meets_floor,
+        },
+    }
+
+
+def format_registry_report(payload: dict) -> str:
+    lines = [f"Run registry on {payload['scenario']}:"]
+    for row in payload["rows"]:
+        lines.append(
+            f"  {row['phase']:<8} {row['seconds']:8.2f}s  "
+            f"{row['cells_cached']:>3}/{row['cells_total']} cells cached, "
+            f"{row['cells_computed']} simulated"
+        )
+    headline = payload["headline"]
+    lines.append(
+        f"  store: {payload['store_bytes'] / 1024:.1f} KiB for "
+        f"{payload['rows'][0]['cells_total']} artifact(s)"
+    )
+    checks = (
+        f"zero_simulations={'ok' if headline['zero_simulations'] else 'FAIL'} "
+        f"bit_identical={'ok' if headline['bit_identical'] else 'FAIL'} "
+        f"partial_incremental="
+        f"{'ok' if headline['partial_incremental'] else 'FAIL'}"
+    )
+    floor_note = (
+        f"(floor {headline['floor']:.0f}x, "
+        f"{'met' if headline['warm_speedup'] >= headline['floor'] else 'NOT met'})"
+        if headline["floor_applicable"]
+        else f"(floor not applicable on {payload['cpu_count']} core(s))"
+    )
+    lines.append(
+        f"Headline: warm {headline['warm_speedup']:.1f}x vs cold {floor_note}; "
+        f"{checks}"
+    )
+    return "\n".join(lines)
+
+
 def format_churn_report(payload: dict) -> str:
     lines = [f"Churn-native throughput on {payload['scenario']}:"]
     for row in payload["rows"]:
@@ -1178,7 +1372,7 @@ def main(argv=None) -> int:
         "--suite",
         choices=(
             "backend", "kernels", "results", "churn", "compiled", "shard",
-            "faults",
+            "faults", "registry",
         ),
         default="backend",
         help=(
@@ -1189,7 +1383,9 @@ def main(argv=None) -> int:
             "per-slot vectorized baseline at 100k devices; shard: sharded "
             "population engine vs vectorized at 100k devices (plus "
             "checkpoint-overhead floor); faults: fault-injection smoke "
-            "(kill/recover byte-identical, corruption refused, hangs bounded)"
+            "(kill/recover byte-identical, corruption refused, hangs "
+            "bounded); registry: run-registry cold vs warm sweep (warm must "
+            "simulate nothing and clear the speedup floor)"
         ),
     )
     parser.add_argument("--policies", nargs="+", default=None)
@@ -1351,6 +1547,28 @@ def main(argv=None) -> int:
             workers=args.workers if args.workers is not None else FAULTS_WORKERS,
         )
         print(format_faults_report(payload))
+    elif args.suite == "registry":
+        for flag, value in (
+            ("--repeats", args.repeats),
+            ("--rss-factor", args.rss_factor),
+        ):
+            if value is not None:
+                parser.error(f"{flag} does not apply to --suite registry")
+        if args.policies is not None and len(args.policies) != 1:
+            parser.error("--suite registry takes exactly one --policies entry")
+        payload = run_registry_benchmark(
+            policy=args.policies[0] if args.policies else REGISTRY_POLICY,
+            num_devices=(
+                args.devices if args.devices is not None else REGISTRY_NUM_DEVICES
+            ),
+            horizon=(
+                args.slots if args.slots is not None else REGISTRY_HORIZON_SLOTS
+            ),
+            runs=args.runs if args.runs is not None else REGISTRY_RUNS,
+            workers=args.workers,
+            floor=args.floor if args.floor is not None else REGISTRY_SPEEDUP_FLOOR,
+        )
+        print(format_registry_report(payload))
     elif args.suite == "results":
         for flag, value in (
             ("--workers", args.workers),

@@ -93,6 +93,13 @@ class ExperimentConfig:
         name like ``"cupy"`` resolves that module once per experiment and
         runs the kernel math there (distribution-exact, not bit-exact).
         Validated eagerly so a typo fails at config time, not mid-run.
+    cache:
+        Run-registry mode for reduced runs (:mod:`repro.registry`):
+        ``"off"`` (default) always simulates, ``"reuse"`` loads cached
+        (config × seed) cells and simulates only the missing ones,
+        ``"refresh"`` recomputes and overwrites.  A
+        :class:`~repro.registry.CacheSpec` selects an explicit store root.
+        Validated eagerly; only applies to reduced runs (``reduce=``).
     """
 
     runs: int = 5
@@ -105,6 +112,7 @@ class ExperimentConfig:
     checkpoint: object | None = None
     resume_from: str | None = None
     array_module: str | None = None
+    cache: object = "off"
 
     def __post_init__(self) -> None:
         if self.runs < 1:
@@ -143,6 +151,11 @@ class ExperimentConfig:
             )
         if self.array_module is not None:
             resolve_array_module(self.array_module)  # fail fast on typos
+        # Imported lazily: the registry imports the runner, which the
+        # experiments layer sits on top of.
+        from repro.registry.store import resolve_cache
+
+        resolve_cache(self.cache)  # fail fast on unknown cache modes
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -194,6 +207,7 @@ def run_with_config(scenario: Scenario, config: ExperimentConfig, reduce=None):
         checkpoint=config.checkpoint,
         resume_from=config.resume_from,
         array_module=config.array_module,
+        cache=config.cache,
     )
 
 

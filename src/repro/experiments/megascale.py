@@ -218,12 +218,21 @@ def main(argv=None) -> int:
     logging.basicConfig(
         level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
     )
-    payload = run(
-        num_devices=args.devices,
+    # The CLI flags thread through an ExperimentConfig so the execution
+    # knobs — including the PR 8 array-module seam — get the config layer's
+    # eager validation (an --array-module typo fails here, not mid-run).
+    config = ExperimentConfig(
+        runs=1,
         horizon_slots=args.slots,
-        policy=args.policy,
+        backend="sharded",
         shards=args.shards,
         workers=args.workers,
+        array_module=args.array_module,
+    )
+    payload = run(
+        config=config,
+        num_devices=args.devices,
+        policy=args.policy,
         dtype=args.dtype,
         window_slots=args.window,
         seed=args.seed,
@@ -238,7 +247,6 @@ def main(argv=None) -> int:
             else None
         ),
         resume_from=args.resume,
-        array_module=args.array_module,
     )
     text = json.dumps(payload, indent=2)
     print(text)

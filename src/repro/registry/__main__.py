@@ -1,0 +1,176 @@
+"""CLI for the run registry: ``python -m repro.registry <command>``.
+
+Commands
+--------
+
+``ls``
+    One line per committed artifact (fingerprint, scenario, reducer, seed,
+    size, age, original wall time).
+``inspect <prefix>``
+    Pretty-print the metadata of the entry matching a fingerprint prefix.
+``gc``
+    Remove entries by age (``--older-than-days``), total-size budget
+    (``--max-bytes``) or wholesale (``--all``); ``--dry-run`` previews.
+``verify``
+    Integrity-check every entry (checksums, format, provenance); exits
+    non-zero when any entry is refused, ``--delete`` removes the failures.
+
+All commands honour ``--root`` and the ``REPRO_RUN_CACHE`` environment
+variable (default ``~/.cache/repro-runs``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.registry.store import CACHE_ENV_VAR, RunStore, default_cache_root
+
+
+def _format_bytes(size: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.0f}{unit}" if unit == "B" else f"{size:.1f}{unit}"
+        size /= 1024
+    return f"{size:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def _format_age(created_unix: float | None) -> str:
+    if not created_unix:
+        return "?"
+    seconds = max(0.0, time.time() - created_unix)
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _cmd_ls(store: RunStore, args) -> int:
+    rows = list(store.entries())
+    if not rows:
+        print(f"empty run registry at {store.root}")
+        return 0
+    total = 0
+    print(f"{'fingerprint':14} {'scenario':28} {'reducer':18} "
+          f"{'seed':>6} {'size':>9} {'age':>6} {'wall':>8}")
+    for fingerprint, meta, size in rows:
+        total += size
+        summary = meta.get("summary", {})
+        wall = meta.get("wall_seconds")
+        print(
+            f"{fingerprint[:12]:14} "
+            f"{str(summary.get('scenario', '?'))[:28]:28} "
+            f"{str(summary.get('reducer', '?'))[:18]:18} "
+            f"{str(summary.get('seed_label', '?')):>6} "
+            f"{_format_bytes(size):>9} "
+            f"{_format_age(meta.get('created_unix')):>6} "
+            f"{'?' if wall is None else f'{wall:.2f}s':>8}"
+        )
+    print(f"{len(rows)} artifact(s), {_format_bytes(total)} in {store.root}")
+    return 0
+
+
+def _match_prefix(store: RunStore, prefix: str) -> str | None:
+    matches = [
+        fingerprint
+        for fingerprint, _, _ in store.entries()
+        if fingerprint.startswith(prefix)
+    ]
+    if not matches:
+        print(f"no entry matches {prefix!r} in {store.root}", file=sys.stderr)
+        return None
+    if len(matches) > 1:
+        print(
+            f"{prefix!r} is ambiguous ({len(matches)} matches); "
+            "use a longer prefix",
+            file=sys.stderr,
+        )
+        return None
+    return matches[0]
+
+
+def _cmd_inspect(store: RunStore, args) -> int:
+    fingerprint = _match_prefix(store, args.prefix)
+    if fingerprint is None:
+        return 1
+    meta_path = store.entry_dir(fingerprint) / "meta.json"
+    print(json.dumps(json.loads(meta_path.read_text()), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_gc(store: RunStore, args) -> int:
+    if args.older_than_days is None and args.max_bytes is None and not args.all:
+        print(
+            "nothing to do: pass --older-than-days, --max-bytes or --all",
+            file=sys.stderr,
+        )
+        return 2
+    removed = store.gc(
+        older_than_days=args.older_than_days,
+        max_bytes=args.max_bytes,
+        clear=args.all,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    for fingerprint, size in removed:
+        print(f"{verb} {fingerprint[:12]} ({_format_bytes(size)})")
+    print(f"{verb} {len(removed)} artifact(s), "
+          f"{_format_bytes(sum(size for _, size in removed))}")
+    return 0
+
+
+def _cmd_verify(store: RunStore, args) -> int:
+    ok, corrupt = store.verify()
+    for fingerprint, error in corrupt:
+        print(f"REFUSED {fingerprint[:12]}: {error}", file=sys.stderr)
+        if args.delete:
+            store.delete(fingerprint)
+            print(f"deleted {fingerprint[:12]}", file=sys.stderr)
+    print(f"{len(ok)} ok, {len(corrupt)} refused in {store.root}")
+    return 1 if corrupt and not args.delete else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.registry",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help=f"store root (default ${CACHE_ENV_VAR} or {default_cache_root()})",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("ls", help="list committed artifacts")
+
+    inspect = commands.add_parser("inspect", help="show one entry's metadata")
+    inspect.add_argument("prefix", help="fingerprint prefix (unique)")
+
+    gc = commands.add_parser("gc", help="remove artifacts by age/size budget")
+    gc.add_argument("--older-than-days", type=float, default=None)
+    gc.add_argument("--max-bytes", type=int, default=None)
+    gc.add_argument("--all", action="store_true", help="clear the store")
+    gc.add_argument("--dry-run", action="store_true")
+
+    verify = commands.add_parser("verify", help="integrity-check every entry")
+    verify.add_argument(
+        "--delete", action="store_true", help="remove refused entries"
+    )
+
+    args = parser.parse_args(argv)
+    store = RunStore(args.root)
+    handler = {
+        "ls": _cmd_ls,
+        "inspect": _cmd_inspect,
+        "gc": _cmd_gc,
+        "verify": _cmd_verify,
+    }[args.command]
+    return handler(store, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

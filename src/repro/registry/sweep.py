@@ -1,0 +1,172 @@
+"""Incremental (config × seed) sweep orchestration over the run registry.
+
+A sweep is a list of :class:`SweepCase` cells — a named scenario to run
+``runs`` times from ``base_seed`` — typically expanded from a parameter
+grid with :func:`expand_grid`.  :func:`run_sweep` partitions every case's
+(config × seed) cells into cached-hit vs missing against the registry,
+schedules **only the missing cells** through the existing
+:func:`~repro.sim.runner.run_many` worker pool, commits the fresh payloads
+and merges cached and fresh reducer states with the associative
+``merge`` — in run-index order, so the per-case output is bit-identical to
+a fully cold sweep.
+
+A fully warm case never constructs a process pool: its cells load straight
+from the store and the sweep degenerates to a directory read.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.analysis.reducers import resolve_reducer
+from repro.registry.fingerprint import grid_keys
+from repro.registry.store import CacheSpec, resolve_cache
+from repro.sim.backends import DEFAULT_BACKEND
+from repro.sim.runner import run_many
+from repro.sim.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One sweep cell group: a scenario executed ``runs`` times."""
+
+    name: str
+    scenario: Scenario
+    runs: int
+    base_seed: int = 0
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError("runs must be >= 1")
+
+
+@dataclass
+class SweepReport:
+    """Per-case finalized outputs plus the sweep's cache accounting."""
+
+    results: dict[str, Any]
+    cells_total: int
+    cells_cached: int
+    cells_computed: int
+    seconds: float
+
+    @property
+    def warm_fraction(self) -> float:
+        return self.cells_cached / self.cells_total if self.cells_total else 0.0
+
+
+def expand_grid(
+    factory: Callable[..., Scenario],
+    grid: Mapping[str, Sequence],
+    runs: int,
+    base_seed: int = 0,
+    name_fn: Callable[[dict], str] | None = None,
+) -> list[SweepCase]:
+    """Cartesian-product a parameter grid into sweep cases.
+
+    ``factory(**params)`` builds each scenario; case names default to the
+    ``key=value`` join of the grid point (override with ``name_fn``).
+    """
+    names = list(grid)
+    cases = []
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        name = (
+            name_fn(params)
+            if name_fn is not None
+            else ",".join(f"{key}={value}" for key, value in params.items())
+        )
+        cases.append(
+            SweepCase(
+                name=name,
+                scenario=factory(**params),
+                runs=runs,
+                base_seed=base_seed,
+                params=params,
+            )
+        )
+    seen: set[str] = set()
+    for case in cases:
+        if case.name in seen:
+            raise ValueError(f"duplicate sweep case name {case.name!r}")
+        seen.add(case.name)
+    return cases
+
+
+def run_sweep(
+    cases: Sequence[SweepCase],
+    reduce,
+    cache: "str | CacheSpec" = "reuse",
+    backend: str = DEFAULT_BACKEND,
+    workers: int | None = None,
+    chunksize: int | None = None,
+    record_probabilities: bool | None = None,
+    progress: Callable[[str, int, int], None] | None = None,
+    array_module: str | None = None,
+) -> SweepReport:
+    """Run a sweep incrementally against the registry (see module docstring).
+
+    ``reduce`` is mandatory: the registry stores reducer payloads.
+    ``cache="off"`` still works (everything computes, nothing is stored) so
+    a sweep definition can be benchmarked cold without touching the store.
+    ``progress(case_name, done, total)`` reports per-case completion.
+    """
+    if not cases:
+        raise ValueError("at least one sweep case is required")
+    reducer = resolve_reducer(reduce)
+    if reducer is None:
+        raise ValueError("run_sweep requires reduce= (see repro.analysis.reducers)")
+    spec = resolve_cache(cache)
+    record = (
+        reducer.needs_probabilities
+        if record_probabilities is None
+        else record_probabilities
+    )
+
+    results: dict[str, Any] = {}
+    cells_total = 0
+    cells_cached = 0
+    started = time.perf_counter()
+    for case in cases:
+        cells_total += case.runs
+        if spec.mode == "reuse":
+            store = spec.resolve_store()
+            keys = grid_keys(
+                case.scenario,
+                base_seed=case.base_seed,
+                runs=case.runs,
+                record_probabilities=record,
+                reducer=reducer,
+            )
+            cells_cached += sum(
+                1 for key in keys if store.contains(key.fingerprint)
+            )
+        case_progress = (
+            (lambda done, total, _name=case.name: progress(_name, done, total))
+            if progress is not None
+            else None
+        )
+        results[case.name] = run_many(
+            case.scenario,
+            case.runs,
+            case.base_seed,
+            backend=backend,
+            workers=workers,
+            reduce=reducer,
+            chunksize=chunksize,
+            record_probabilities=record_probabilities,
+            progress=case_progress,
+            array_module=array_module,
+            cache=spec if spec.enabled else "off",
+        )
+    return SweepReport(
+        results=results,
+        cells_total=cells_total,
+        cells_cached=cells_cached,
+        cells_computed=cells_total - cells_cached,
+        seconds=time.perf_counter() - started,
+    )

@@ -48,6 +48,7 @@ so peak memory in the parent stays O(one run) regardless of ``runs``.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable, Sequence
@@ -120,6 +121,64 @@ def _map_payload(
     return result if reducer is None else reducer.map(result)
 
 
+class RunFailure(RuntimeError):
+    """One run of a multi-run experiment failed.
+
+    Raised in place of the worker's bare exception so the error message
+    carries the failing cell's coordinates — run index, seed label and
+    scenario name — making a failed sweep cell identifiable and
+    re-schedulable from the parent process (a raw pool traceback names
+    neither the seed nor the scenario).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        run_index: int | None = None,
+        seed_label: int | None = None,
+        scenario_name: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.run_index = run_index
+        self.seed_label = seed_label
+        self.scenario_name = scenario_name
+
+    def __reduce__(self):
+        # Keep the cell coordinates across the pool's pickle round-trip
+        # (the default exception reduction only replays ``args``).
+        message = self.args[0] if self.args else ""
+        return (
+            type(self),
+            (message, self.run_index, self.seed_label, self.scenario_name),
+        )
+
+
+def _cell_payload(
+    executor: SlotExecutor,
+    scenario: Scenario,
+    index: int,
+    base_seed: int,
+    reducer,
+    record_probabilities: bool,
+):
+    """One run's payload, with failures wrapped into :class:`RunFailure`."""
+    run_seed = _spawned_run_seed(base_seed, index)
+    try:
+        return _map_payload(
+            executor, scenario, run_seed, reducer, record_probabilities
+        )
+    except RunFailure:
+        raise
+    except Exception as exc:
+        raise RunFailure(
+            f"run {index} (seed {run_seed.label}) of scenario "
+            f"{scenario.name!r} failed: {type(exc).__name__}: {exc}",
+            run_index=index,
+            seed_label=run_seed.label,
+            scenario_name=scenario.name,
+        ) from exc
+
+
 #: Per-worker run context, installed once per process by :func:`_init_worker`.
 _WORKER_CONTEXT: dict = {}
 
@@ -149,13 +208,33 @@ def _init_worker(
 def _run_index(index: int):
     """Pool job: one run of the worker-resident scenario for run ``index``."""
     context = _WORKER_CONTEXT
-    return _map_payload(
+    return _cell_payload(
         context["executor"],
         context["scenario"],
-        _spawned_run_seed(context["base_seed"], index),
+        index,
+        context["base_seed"],
         context["reducer"],
         context["record_probabilities"],
     )
+
+
+def _run_cell(index: int):
+    """Pool job for cached sweeps: ``(index, payload, wall_seconds)``.
+
+    The wall time travels back with the payload so the registry can record
+    how expensive the artifact was to produce.
+    """
+    context = _WORKER_CONTEXT
+    started = time.perf_counter()
+    payload = _cell_payload(
+        context["executor"],
+        context["scenario"],
+        index,
+        context["base_seed"],
+        context["reducer"],
+        context["record_probabilities"],
+    )
+    return index, payload, time.perf_counter() - started
 
 
 def _default_chunksize(runs: int, pool_width: int) -> int:
@@ -201,6 +280,104 @@ def _durable_executor(
     )
 
 
+def _run_many_cached(
+    scenario: Scenario,
+    runs: int,
+    base_seed: int,
+    executor: SlotExecutor,
+    reducer,
+    record_probabilities: bool,
+    pool_workers: int | None,
+    chunksize: int | None,
+    progress,
+    checkpoint,
+    resume_from,
+    cache_spec,
+):
+    """``run_many`` through the run registry: execute only the missing cells.
+
+    Every (config × seed) cell is fingerprinted; committed artifacts are
+    loaded (``"reuse"``) instead of simulated, the remaining indices go
+    through the usual pool/serial machinery, fresh payloads are committed
+    to the store, and all payloads merge strictly in run-index order — so
+    the finalized output is bit-identical to a fully cold run.  Payloads
+    are kilobyte-scale by the reducer contract, so holding ``runs`` of them
+    while merging stays negligible.
+    """
+    from repro.registry.fingerprint import grid_keys
+    from repro.registry.store import MISS
+
+    store = cache_spec.resolve_store()
+    keys = grid_keys(
+        scenario,
+        base_seed=base_seed,
+        runs=runs,
+        record_probabilities=record_probabilities,
+        reducer=reducer,
+    )
+    payloads: dict = {}
+    if cache_spec.mode == "reuse":
+        for index, key in enumerate(keys):
+            hit = store.load(key.fingerprint)  # raises CacheError when corrupt
+            if hit is not MISS:
+                payloads[index] = hit
+    missing = [index for index in range(runs) if index not in payloads]
+    done = runs - len(missing)
+    if progress is not None and done:
+        progress(done, runs)
+
+    if pool_workers is not None and pool_workers > 1 and len(missing) > 1:
+        pool_width = min(pool_workers, len(missing))
+        if chunksize is None:
+            chunksize = _default_chunksize(len(missing), pool_width)
+        with ProcessPoolExecutor(
+            max_workers=pool_width,
+            initializer=_init_worker,
+            initargs=(
+                scenario,
+                executor,
+                reducer,
+                record_probabilities,
+                base_seed,
+                array_module_name(),
+            ),
+        ) as pool:
+            for index, payload, seconds in pool.map(
+                _run_cell, missing, chunksize=chunksize
+            ):
+                payloads[index] = payload
+                store.store(keys[index], payload, wall_seconds=seconds)
+                done += 1
+                if progress is not None:
+                    progress(done, runs)
+    else:
+        for index in missing:
+            run_executor = _durable_executor(
+                executor, checkpoint, resume_from, runs, index
+            )
+            started = time.perf_counter()
+            payload = _cell_payload(
+                run_executor,
+                scenario,
+                index,
+                base_seed,
+                reducer,
+                record_probabilities,
+            )
+            store.store(
+                keys[index], payload, wall_seconds=time.perf_counter() - started
+            )
+            payloads[index] = payload
+            done += 1
+            if progress is not None:
+                progress(done, runs)
+
+    merged = payloads[0]
+    for index in range(1, runs):
+        merged = reducer.merge(merged, payloads[index])
+    return reducer.finalize(merged)
+
+
 def run_many(
     scenario: Scenario,
     runs: int,
@@ -215,6 +392,7 @@ def run_many(
     checkpoint=None,
     resume_from=None,
     array_module: str | None = None,
+    cache="off",
 ):
     """Run ``scenario`` ``runs`` times with independently spawned seeds.
 
@@ -267,6 +445,17 @@ def run_many(
         leaves the process-global seam untouched; ``"numpy"``, ``"cupy"`` or
         a module name is resolved once up front, installed in every pool
         worker, and stays active for the process.  Only NumPy is bit-exact.
+    cache:
+        ``"off"`` (default) always simulates.  ``"reuse"`` consults the run
+        registry (:mod:`repro.registry`): cells whose canonical fingerprint
+        has a committed artifact are loaded instead of simulated, only the
+        missing cells execute, fresh payloads are committed back, and the
+        merged output is bit-identical to a cold run.  ``"refresh"``
+        recomputes every cell and overwrites the store (the escape hatch
+        when the registry refuses a stale/corrupt entry).  A
+        :class:`~repro.registry.CacheSpec` selects an explicit store root.
+        Requires ``reduce=`` — the registry persists reducer payloads, not
+        full slot-by-slot records.
     """
     if runs < 1:
         raise ValueError("runs must be >= 1")
@@ -324,6 +513,32 @@ def run_many(
             shards, workers=workers if workers and workers > 1 else None
         )
         pool_workers = None
+
+    if cache is not None and cache != "off":
+        from repro.registry.store import resolve_cache
+
+        cache_spec = resolve_cache(cache)
+        if cache_spec.enabled:
+            if reducer is None:
+                raise ValueError(
+                    "cache='reuse'/'refresh' requires reduce= — the run "
+                    "registry persists reducer payloads, not full "
+                    "slot-by-slot results"
+                )
+            return _run_many_cached(
+                scenario,
+                runs,
+                base_seed,
+                executor,
+                reducer,
+                record_probabilities,
+                pool_workers,
+                chunksize,
+                progress,
+                checkpoint,
+                resume_from,
+                cache_spec,
+            )
 
     indices = range(runs)
     if pool_workers is not None and pool_workers > 1 and runs > 1:
@@ -400,11 +615,12 @@ def run_policies(
     reduce=None,
     chunksize: int | None = None,
     shards: int | None = None,
+    cache="off",
 ) -> dict:
     """Run the same scenario once per policy name (all devices use that policy).
 
     With ``reduce=`` each policy maps to its finalized reduction instead of a
-    list of full results.
+    list of full results; ``cache=`` threads through to :func:`run_many`.
     """
     results: dict = {}
     for policy in policies:
@@ -417,5 +633,6 @@ def run_policies(
             reduce=reduce,
             chunksize=chunksize,
             shards=shards,
+            cache=cache,
         )
     return results

@@ -1,10 +1,13 @@
 """Integration-style tests of the simulation runner and the result container."""
 
+import pickle
+
 import numpy as np
 import pytest
 
+from repro.analysis.reducers import RowsReducer
 from repro.sim.metrics import NO_NETWORK
-from repro.sim.runner import run_many, run_simulation, run_policies
+from repro.sim.runner import RunFailure, run_many, run_simulation, run_policies
 from repro.sim.scenario import (
     dynamic_join_leave_scenario,
     mobility_scenario,
@@ -129,3 +132,45 @@ class TestMultiRunHelpers:
         assert set(results) == {"greedy", "fixed_random"}
         greedy_result = results["greedy"][0]
         assert all(name == "greedy" for name in greedy_result.policy_names.values())
+
+
+class _ExplodingReducer(RowsReducer):
+    """Fails on one specific seed; module-level so the pool pickles it."""
+
+    needs_probabilities = False
+
+    def __init__(self, fail_seed: int):
+        self.fail_seed = fail_seed
+
+    def row(self, result) -> dict:
+        if result.seed == self.fail_seed:
+            raise RuntimeError("synthetic reducer failure")
+        return {"seed": result.seed}
+
+
+class TestRunFailure:
+    def test_pool_failure_names_the_cell(self, tiny_setting1):
+        with pytest.raises(RunFailure) as excinfo:
+            run_many(
+                tiny_setting1,
+                runs=3,
+                base_seed=10,
+                workers=2,
+                reduce=_ExplodingReducer(fail_seed=11),
+            )
+        err = excinfo.value
+        assert err.run_index == 1
+        assert err.seed_label == 11
+        assert err.scenario_name == tiny_setting1.name
+        assert "seed 11" in str(err)
+        assert "RuntimeError" in str(err)
+
+    def test_run_failure_survives_pool_pickling(self):
+        err = RunFailure(
+            "boom", run_index=3, seed_label=13, scenario_name="tiny"
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert str(clone) == "boom"
+        assert clone.run_index == 3
+        assert clone.seed_label == 13
+        assert clone.scenario_name == "tiny"
