@@ -74,6 +74,16 @@ Four suites, selected with ``--suite``:
     barrier timeout instead of hanging.  All three checks must pass
     (``meets_floor``).  Tracked by the CI fault-injection smoke job.
 
+``telemetry``
+    Telemetry overhead: the same sharded summary-reduced run executed with
+    ``REPRO_TELEMETRY_DIR`` unset (the single-``is None``-check fast path)
+    and set (structured events + metrics live).  The enabled leg's event
+    log must validate against the versioned schema, the monitor's
+    ``summary`` command must exit 0 over it, and ``report`` must
+    reconstruct every worker's progress; the relative slowdown must stay
+    under ``--floor`` (default 3%) on multi-core hosts.  Tracked as
+    ``BENCH_telemetry.json``.
+
 ``registry``
     The run registry (:mod:`repro.registry`): a fig06-scale stability sweep
     at reduced scale (two device counts × ``--runs`` seeds) executed cold
@@ -111,6 +121,8 @@ Usage::
         --suite faults --devices 2000 --slots 60 --workers 2
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
         --suite registry --json BENCH_run_registry.json
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
+        --suite telemetry --json BENCH_telemetry.json
 """
 
 from __future__ import annotations
@@ -1077,6 +1089,160 @@ def format_faults_report(payload: dict) -> str:
     return "\n".join(lines)
 
 
+#: Telemetry-suite defaults: a sharded run long enough that per-event costs
+#: would show up in the ratio if they existed.
+TELEMETRY_POLICY = "exp3"
+TELEMETRY_NUM_DEVICES = 20_000
+TELEMETRY_HORIZON_SLOTS = 150
+#: Allowed relative slowdown of the telemetry-enabled run vs. the same run
+#: with telemetry off (multi-core hosts; single-core ratios are noise).
+TELEMETRY_OVERHEAD_FLOOR = 0.03
+
+
+def run_telemetry_benchmark(
+    policy: str = TELEMETRY_POLICY,
+    num_devices: int = TELEMETRY_NUM_DEVICES,
+    horizon: int = TELEMETRY_HORIZON_SLOTS,
+    workers: int | None = None,
+    repeats: int = 3,
+    floor: float = TELEMETRY_OVERHEAD_FLOOR,
+) -> dict:
+    """Telemetry enabled-vs-disabled overhead on a sharded population run.
+
+    Both legs execute the identical summary-reduced sharded run; only
+    ``REPRO_TELEMETRY_DIR`` differs.  Alongside the overhead ratio the
+    enabled leg is a functional acceptance check: the event log must
+    validate against the versioned schema, ``python -m repro.telemetry
+    summary`` must exit 0 over it, and ``report`` must see every worker
+    finish — so the suite fails loudly if instrumentation drifts from the
+    schema instead of silently benchmarking a broken log.
+    """
+    import io
+    import shutil
+    import tempfile
+
+    from repro.analysis.reducers import SummaryReducer
+    from repro.sim.sharded import HomogeneousPopulation, ShardedSlotExecutor
+    from repro.telemetry import read_events, set_telemetry_dir, validate_directory
+    from repro.telemetry.__main__ import build_report, main as telemetry_main
+
+    cpus = os.cpu_count() or 1
+    if workers is None:
+        workers = max(1, min(cpus, 4))
+    population = HomogeneousPopulation(
+        num_devices=num_devices,
+        policy=policy,
+        horizon_slots=horizon,
+        name=f"telemetry_bench_d{num_devices}",
+    )
+    reducer = SummaryReducer()
+    executor = ShardedSlotExecutor(
+        shards=workers, workers=workers, dtype="float32"
+    )
+    device_slots = num_devices * horizon
+
+    set_telemetry_dir(None)
+    disabled_seconds = _best_seconds(
+        lambda: executor.execute_population(population, 0, reducer), repeats
+    )
+
+    telemetry_root = tempfile.mkdtemp(prefix="telemetry_bench_")
+    try:
+        # Each timed iteration writes into a fresh subdirectory so repeats
+        # don't append to each other's streams; the last one is validated.
+        run_index = [0]
+
+        def _enabled():
+            event_dir = os.path.join(telemetry_root, f"run{run_index[0]}")
+            run_index[0] += 1
+            set_telemetry_dir(event_dir)
+            try:
+                return executor.execute_population(population, 0, reducer)
+            finally:
+                set_telemetry_dir(None)
+
+        enabled_seconds = _best_seconds(_enabled, repeats)
+        event_dir = os.path.join(telemetry_root, f"run{run_index[0] - 1}")
+
+        schema_errors = validate_directory(event_dir)
+        events = read_events(event_dir)
+        report = build_report(events)
+        workers_done = sum(
+            1 for row in report["workers"].values() if row.get("done")
+        )
+        summary_rc = telemetry_main(
+            ["--dir", event_dir, "summary"], out=io.StringIO()
+        )
+    finally:
+        set_telemetry_dir(None)
+        shutil.rmtree(telemetry_root, ignore_errors=True)
+
+    overhead = (enabled_seconds - disabled_seconds) / disabled_seconds
+    floor_applicable = _multicore()
+    log_valid = (
+        not schema_errors and bool(events) and summary_rc == 0
+        and workers_done == workers
+    )
+    return {
+        "suite": "telemetry",
+        "scenario": (
+            f"uniform population ({num_devices} devices, {horizon} slots, "
+            f"{policy}, shards={workers}, workers={workers})"
+        ),
+        **bench_header(),
+        "rows": [
+            {
+                "mode": "telemetry disabled (REPRO_TELEMETRY_DIR unset)",
+                "seconds": disabled_seconds,
+                "device_slots_per_second": device_slots / disabled_seconds,
+            },
+            {
+                "mode": "telemetry enabled",
+                "seconds": enabled_seconds,
+                "device_slots_per_second": device_slots / enabled_seconds,
+                "events": len(events),
+                "schema_errors": len(schema_errors),
+                "workers_done": workers_done,
+                "summary_exit_code": summary_rc,
+            },
+        ],
+        "headline": {
+            "overhead": overhead,
+            "floor": floor,
+            "floor_applicable": floor_applicable,
+            "event_log_valid": log_valid,
+            "meets_floor": log_valid
+            and (overhead <= floor if floor_applicable else True),
+        },
+    }
+
+
+def format_telemetry_report(payload: dict) -> str:
+    lines = [f"Telemetry overhead on {payload['scenario']}:"]
+    for row in payload["rows"]:
+        parts = [
+            f"  {row['mode']:<44} {row['seconds']:8.2f}s",
+            f"{row['device_slots_per_second']:>14,.0f} dev-slots/s",
+        ]
+        if "events" in row:
+            parts.append(
+                f"{row['events']} events, {row['schema_errors']} schema errors"
+            )
+        lines.append(" ".join(parts))
+    headline = payload["headline"]
+    floor_note = (
+        f"(floor {100 * headline['floor']:.0f}%, "
+        f"{'met' if headline['overhead'] <= headline['floor'] else 'NOT met'})"
+        if headline["floor_applicable"]
+        else f"(floor not applicable on {payload['cpu_count']} core(s))"
+    )
+    lines.append(
+        f"Headline: {100 * headline['overhead']:+.1f}% overhead {floor_note}; "
+        f"event log {'valid' if headline['event_log_valid'] else 'INVALID'}"
+    )
+    return "\n".join(lines)
+
+
 #: Registry-suite defaults: a reduced-scale fig06 stability sweep — two
 #: device counts (``devices // 2`` and ``devices``) × REGISTRY_RUNS seeds.
 REGISTRY_POLICY = "smart_exp3_no_reset"
@@ -1372,7 +1538,7 @@ def main(argv=None) -> int:
         "--suite",
         choices=(
             "backend", "kernels", "results", "churn", "compiled", "shard",
-            "faults", "registry",
+            "faults", "registry", "telemetry",
         ),
         default="backend",
         help=(
@@ -1385,7 +1551,9 @@ def main(argv=None) -> int:
             "checkpoint-overhead floor); faults: fault-injection smoke "
             "(kill/recover byte-identical, corruption refused, hangs "
             "bounded); registry: run-registry cold vs warm sweep (warm must "
-            "simulate nothing and clear the speedup floor)"
+            "simulate nothing and clear the speedup floor); telemetry: "
+            "enabled-vs-disabled overhead of the run-telemetry layer on a "
+            "sharded run (event log must validate, overhead under the floor)"
         ),
     )
     parser.add_argument("--policies", nargs="+", default=None)
@@ -1427,7 +1595,8 @@ def main(argv=None) -> int:
             "vectorized-vs-event speedup on per-slot churn; compiled: "
             "minimum fused-window speedup vs the per-slot baseline (with "
             "numba active); shard: minimum sharded-vs-vectorized speedup "
-            "(>= 4-core machines)"
+            "(>= 4-core machines); telemetry: maximum enabled-vs-disabled "
+            "overhead as a fraction (default 0.03)"
         ),
     )
     parser.add_argument(
@@ -1547,6 +1716,30 @@ def main(argv=None) -> int:
             workers=args.workers if args.workers is not None else FAULTS_WORKERS,
         )
         print(format_faults_report(payload))
+    elif args.suite == "telemetry":
+        for flag, value in (
+            ("--runs", args.runs),
+            ("--rss-factor", args.rss_factor),
+        ):
+            if value is not None:
+                parser.error(f"{flag} does not apply to --suite telemetry")
+        if args.policies is not None and len(args.policies) != 1:
+            parser.error("--suite telemetry takes exactly one --policies entry")
+        payload = run_telemetry_benchmark(
+            policy=args.policies[0] if args.policies else TELEMETRY_POLICY,
+            num_devices=(
+                args.devices
+                if args.devices is not None
+                else TELEMETRY_NUM_DEVICES
+            ),
+            horizon=(
+                args.slots if args.slots is not None else TELEMETRY_HORIZON_SLOTS
+            ),
+            workers=args.workers,
+            repeats=args.repeats if args.repeats is not None else 3,
+            floor=args.floor if args.floor is not None else TELEMETRY_OVERHEAD_FLOOR,
+        )
+        print(format_telemetry_report(payload))
     elif args.suite == "registry":
         for flag, value in (
             ("--repeats", args.repeats),

@@ -100,6 +100,13 @@ class ExperimentConfig:
         ``"refresh"`` recomputes and overwrites.  A
         :class:`~repro.registry.CacheSpec` selects an explicit store root.
         Validated eagerly; only applies to reduced runs (``reduce=``).
+    telemetry_dir:
+        Directory for the run's telemetry event streams
+        (:mod:`repro.telemetry`): sets ``REPRO_TELEMETRY_DIR`` for the
+        experiment (inherited by worker processes), so every run emits
+        structured events the monitor CLI can merge.  ``None`` (default)
+        leaves the environment untouched — telemetry stays off unless the
+        caller exported the variable themselves.
     """
 
     runs: int = 5
@@ -113,6 +120,7 @@ class ExperimentConfig:
     resume_from: str | None = None
     array_module: str | None = None
     cache: object = "off"
+    telemetry_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.runs < 1:
@@ -195,6 +203,10 @@ def run_with_config(scenario: Scenario, config: ExperimentConfig, reduce=None):
     slot-by-slot records, and the return value is the reducer's finalized
     output instead of a result list.
     """
+    if config.telemetry_dir is not None:
+        from repro.telemetry import set_telemetry_dir
+
+        set_telemetry_dir(config.telemetry_dir)
     return run_many(
         scenario,
         config.runs,

@@ -72,6 +72,7 @@ def run(
     checkpoint: CheckpointConfig | None = None,
     resume_from: str | None = None,
     array_module: str | None = None,
+    telemetry_dir: str | None = None,
 ) -> dict:
     """One megascale population run, summarised through the shard reducer.
 
@@ -84,8 +85,20 @@ def run(
     million-device run survives worker crashes and machine restarts —
     and ``resume_from`` continues an interrupted run bit-exact from its
     last committed checkpoint (see ``README.md`` § Fault tolerance).
+
+    ``telemetry_dir`` turns on the telemetry layer for the run
+    (``REPRO_TELEMETRY_DIR``; see ``README.md`` § Observability): every
+    process appends structured events there, and
+    ``python -m repro.telemetry report`` reconstructs per-shard progress,
+    barrier waits and phase shares from the merged streams.
     """
     config = config or ExperimentConfig(runs=1, horizon_slots=None)
+    if telemetry_dir is None:
+        telemetry_dir = config.telemetry_dir
+    if telemetry_dir is not None:
+        from repro.telemetry import set_telemetry_dir
+
+        set_telemetry_dir(telemetry_dir)
     if array_module is None:
         array_module = config.array_module
     if array_module is not None:
@@ -145,6 +158,7 @@ def run(
                 checkpoint.every_slots if checkpoint is not None else None
             ),
             "resumed_from": resume_from,
+            "telemetry_dir": telemetry_dir,
         },
         "perf": {
             "seconds": seconds,
@@ -204,6 +218,14 @@ def main(argv=None) -> int:
         "non-NumPy namespaces are distribution-exact, not bit-exact",
     )
     parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help="enable run telemetry: every process appends structured "
+        "events under DIR (REPRO_TELEMETRY_DIR); inspect with "
+        "python -m repro.telemetry tail|summary|report",
+    )
+    parser.add_argument(
         "--compiled",
         action="store_true",
         help="opt into the numba-compiled slot kernels (REPRO_COMPILED=1); "
@@ -228,6 +250,7 @@ def main(argv=None) -> int:
         shards=args.shards,
         workers=args.workers,
         array_module=args.array_module,
+        telemetry_dir=args.telemetry_dir,
     )
     payload = run(
         config=config,

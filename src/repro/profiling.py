@@ -15,7 +15,17 @@ The payload shape::
 
     {"tag": "vectorized", "scenario": "...", "devices": N, "slots": T,
      "seconds": {"sampling": ..., "physics": ...}, "share": {...},
-     "total_seconds": ..., "device_slots_per_second": ...}
+     "total_seconds": ..., "device_slots_per_second": ...,
+     "provenance": {"cpu_count": ..., "numpy_version": ...,
+                    "array_module": ..., "numba_version": ...,
+                    "compiled_kernels": ...}}
+
+The timers are also the span source for the telemetry layer
+(:mod:`repro.telemetry`): when ``REPRO_TELEMETRY_DIR`` is set,
+:func:`profile_run` returns a live profile even without ``REPRO_PROFILE``,
+and :meth:`PhaseProfile.emit` additionally appends a ``phase_profile``
+event to the process's telemetry stream.  The ``REPRO_PROFILE`` env vars
+and payload shape keep working verbatim either way.
 
 Future perf work should trust these numbers instead of guessing; the
 benchmark suites (``--suite compiled``) embed the same phase names.
@@ -27,6 +37,8 @@ import json
 import os
 import sys
 import time
+
+from repro.telemetry.core import get_telemetry, record_run_summary, telemetry_enabled
 
 PROFILE_ENV = "REPRO_PROFILE"
 PROFILE_PATH_ENV = "REPRO_PROFILE_PATH"
@@ -48,6 +60,28 @@ PHASES = (
 def profiling_enabled() -> bool:
     """Whether ``REPRO_PROFILE`` opts this process into phase timing."""
     return os.environ.get(PROFILE_ENV, "") not in ("", "0", "false", "no")
+
+
+def run_provenance() -> dict:
+    """``bench_header()``-shaped toolchain provenance for emitted profiles.
+
+    Pins down what produced the numbers — core count, numpy version, the
+    active array module, and the compiled-kernel tier — so profile lines
+    from different machines/configs compare like with like.  Imports are
+    local: profiling must stay importable before the kernel/xp layers.
+    """
+    import numpy
+
+    from repro.algorithms.kernels.compiled import compiled_enabled, numba_version
+    from repro.xp import array_module_name
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "numpy_version": numpy.__version__,
+        "array_module": array_module_name(),
+        "numba_version": numba_version(),
+        "compiled_kernels": compiled_enabled(),
+    }
 
 
 class PhaseProfile:
@@ -80,17 +114,19 @@ class PhaseProfile:
     def payload(self, scenario: str | None = None, **extra) -> dict:
         total = time.perf_counter() - self.started
         tracked = sum(self.seconds.values())
-        seconds = {
-            name: round(self.seconds[name], 6)
-            for name in PHASES
-            if name in self.seconds
-        }
-        seconds["other"] = round(
-            seconds.get("other", 0.0) + max(total - tracked, 0.0), 6
-        )
+        # Shares are computed from the *unrounded* per-phase seconds over a
+        # denominator that covers every charged second: normally wall total
+        # (with the untracked remainder clamped into "other"), but when
+        # tracked time exceeds wall time (timer overlap / clock jitter) the
+        # tracked sum, so shares always lie in [0, 1] and sum to ~1 instead
+        # of the old rounded-numerator / raw-total mix.
+        raw = {name: self.seconds[name] for name in PHASES if name in self.seconds}
+        raw["other"] = raw.get("other", 0.0) + max(total - tracked, 0.0)
+        denom = max(total, tracked)
+        seconds = {name: round(value, 6) for name, value in raw.items()}
         share = {
-            name: round(value / total, 4) if total > 0 else 0.0
-            for name, value in seconds.items()
+            name: round(value / denom, 4) if denom > 0 else 0.0
+            for name, value in raw.items()
         }
         device_slots = self.devices * self.slots
         payload = {
@@ -104,23 +140,44 @@ class PhaseProfile:
             "device_slots_per_second": (
                 round(device_slots / total, 1) if total > 0 else None
             ),
+            "provenance": run_provenance(),
         }
         payload.update(extra)
         return payload
 
     def emit(self, scenario: str | None = None, **extra) -> dict:
-        """Serialise the breakdown to stderr or ``REPRO_PROFILE_PATH``."""
+        """Serialise the breakdown to its enabled sinks.
+
+        ``REPRO_PROFILE`` writes the JSON line to stderr or
+        ``REPRO_PROFILE_PATH`` exactly as before; ``REPRO_TELEMETRY_DIR``
+        appends the same payload as a ``phase_profile`` event.  Either way
+        the payload is recorded as the process's last run summary so the
+        run registry can attach it to ``meta.json``.
+        """
         payload = self.payload(scenario, **extra)
-        line = json.dumps(payload, sort_keys=True)
-        path = os.environ.get(PROFILE_PATH_ENV)
-        if path:
-            with open(path, "a") as handle:
-                handle.write(line + "\n")
-        else:
-            print(f"REPRO_PROFILE {line}", file=sys.stderr)
+        if profiling_enabled():
+            line = json.dumps(payload, sort_keys=True)
+            path = os.environ.get(PROFILE_PATH_ENV)
+            if path:
+                with open(path, "a") as handle:
+                    handle.write(line + "\n")
+            else:
+                print(f"REPRO_PROFILE {line}", file=sys.stderr)
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            telemetry.event("phase_profile", **payload)
+        record_run_summary(payload)
         return payload
 
 
 def profile_run(tag: str) -> PhaseProfile | None:
-    """A fresh :class:`PhaseProfile` when profiling is enabled, else ``None``."""
-    return PhaseProfile(tag) if profiling_enabled() else None
+    """A fresh :class:`PhaseProfile` when a sink wants one, else ``None``.
+
+    Live when either ``REPRO_PROFILE`` (stderr/file JSON lines) or
+    ``REPRO_TELEMETRY_DIR`` (``phase_profile`` events) is set — the
+    telemetry layer re-bases on these spans rather than duplicating the
+    executors' timing brackets.
+    """
+    if profiling_enabled() or telemetry_enabled():
+        return PhaseProfile(tag)
+    return None

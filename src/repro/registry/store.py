@@ -107,6 +107,15 @@ class RunStore:
         self.misses = 0
         self.stored = 0
 
+    def _emit(self, op: str, **fields) -> None:
+        """One ``registry`` telemetry event + counter per cache operation."""
+        from repro.telemetry import get_telemetry
+
+        telemetry = get_telemetry()
+        if telemetry is not None:
+            telemetry.counter(f"registry.{op}").inc()
+            telemetry.event("registry", op=op, **fields)
+
     # ------------------------------------------------------------ addressing
 
     def entry_dir(self, fingerprint: str) -> Path:
@@ -125,6 +134,7 @@ class RunStore:
         meta_path = entry / META_NAME
         if not meta_path.is_file():
             self.misses += 1
+            self._emit("miss", fingerprint=fingerprint[:12])
             return MISS
         try:
             meta = json.loads(meta_path.read_text())
@@ -151,6 +161,7 @@ class RunStore:
                 "corrupt; rerun with cache='refresh' to recompute it"
             )
         self.hits += 1
+        self._emit("hit", fingerprint=fingerprint[:12], bytes=len(blob))
         return pickle.loads(blob)
 
     def _check_meta(self, fingerprint: str, entry: Path, meta: dict) -> None:
@@ -200,10 +211,20 @@ class RunStore:
     # ----------------------------------------------------------------- store
 
     def store(self, key: CellKey, payload, wall_seconds: float | None = None) -> Path:
-        """Commit one cell's payload atomically; returns the entry directory."""
+        """Commit one cell's payload atomically; returns the entry directory.
+
+        When the committing process just executed the run (serial paths —
+        pool workers store parent-side, where no profile ran), the last run
+        summary recorded by the profiling layer is attached under the
+        ``telemetry`` meta key, so ``python -m repro.registry inspect``
+        shows where a cached run spent its time.
+        """
+        from repro.telemetry import take_run_summary
+
         entry = self.entry_dir(key.fingerprint)
         bucket = entry.parent
         bucket.mkdir(parents=True, exist_ok=True)
+        refresh = entry.exists()
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         meta = {
             "format_version": STORE_FORMAT_VERSION,
@@ -215,6 +236,9 @@ class RunStore:
             "summary": key.summary,
             "provenance": _provenance(),
         }
+        run_summary = take_run_summary()
+        if run_summary is not None:
+            meta["telemetry"] = run_summary
         staging = bucket / f".staging-{key.fingerprint[:16]}-{os.getpid()}"
         if staging.exists():
             shutil.rmtree(staging)
@@ -243,6 +267,12 @@ class RunStore:
             raise
         _fsync_dir(bucket)
         self.stored += 1
+        self._emit(
+            "refresh" if refresh else "store",
+            fingerprint=key.fingerprint[:12],
+            bytes=len(blob),
+            wall_seconds=wall_seconds,
+        )
         return entry
 
     # ---------------------------------------------------------- maintenance
@@ -317,6 +347,12 @@ class RunStore:
         if not dry_run:
             for fingerprint, _ in removed:
                 self.delete(fingerprint)
+            if removed:
+                self._emit(
+                    "gc",
+                    count=len(removed),
+                    bytes=sum(size for _, size in removed),
+                )
         return removed
 
     def verify(self) -> tuple[list[str], list[tuple[str, str]]]:

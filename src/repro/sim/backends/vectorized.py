@@ -49,6 +49,8 @@ association grouping the event backend builds.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 import repro.algorithms.kernels  # noqa: F401  (registers the built-in kernels)
@@ -56,6 +58,7 @@ from repro.algorithms.base import Observation
 from repro.algorithms.kernels.base import SlotFeedback, WindowPlan
 from repro.game.gain import EqualShareModel
 from repro.profiling import profile_run
+from repro.telemetry import get_telemetry
 from repro.sim.backends.base import SlotExecutor, prepare_run
 from repro.sim.backends.membership import (
     FALLBACK as _FALLBACK,
@@ -124,6 +127,19 @@ class VectorizedSlotExecutor(SlotExecutor):
         fast_physics = type(scenario.gain_model) is EqualShareModel
         any_full_feedback = state.any_full_feedback
         prof = profile_run(self.name)
+        tele = get_telemetry()
+        window_reasons: dict[str, int] | None = None
+        run_started = 0.0
+        if tele is not None:
+            window_reasons = {}
+            run_started = time.perf_counter()
+            tele.event(
+                "run_start",
+                tag=self.name,
+                devices=num_devices,
+                slots=num_slots,
+                scenario=getattr(scenario, "name", None),
+            )
 
         # Stream-free delay models (NoDelay, Constant) draw nothing from the
         # environment RNG, so a per-network-column table replaces the
@@ -302,6 +318,16 @@ class VectorizedSlotExecutor(SlotExecutor):
                             switches2d=switches2d,
                         )
                     )
+                    if window_reasons is not None:
+                        if width < seg_end - slot:
+                            reason = "draw_budget"
+                        elif seg_end > num_slots:
+                            reason = "horizon"
+                        else:
+                            reason = "topology_event"
+                        window_reasons[reason] = (
+                            window_reasons.get(reason, 0) + 1
+                        )
                     slot += width
                 prev_col[kernel.rows] = prev
                 if prof is not None:
@@ -494,5 +520,26 @@ class VectorizedSlotExecutor(SlotExecutor):
         if prof is not None:
             prof.devices = num_devices
             prof.slots = num_slots
-            prof.emit(scenario=getattr(scenario, "name", None), seed=seed)
+            # state.seed is the resolved integer label (``seed`` itself may
+            # be a RunSeed/SeedSequence, which is not JSON-serialisable).
+            prof.emit(scenario=getattr(scenario, "name", None), seed=state.seed)
+        if tele is not None:
+            if window_reasons:
+                tele.event(
+                    "fused_windows",
+                    tag=self.name,
+                    windows=sum(window_reasons.values()),
+                    reasons=window_reasons,
+                )
+            seconds = time.perf_counter() - run_started
+            tele.event(
+                "run_end",
+                tag=self.name,
+                seconds=round(seconds, 6),
+                device_slots_per_second=(
+                    round(num_devices * num_slots / seconds, 1)
+                    if seconds > 0
+                    else None
+                ),
+            )
         return state.finish()

@@ -58,6 +58,7 @@ import numpy as np
 from repro.sim.backends import DEFAULT_BACKEND, RunSeed, SlotExecutor, get_backend
 from repro.sim.metrics import SimulationResult
 from repro.sim.scenario import Scenario
+from repro.telemetry import get_telemetry
 from repro.xp import array_module_name, set_array_module
 
 
@@ -378,7 +379,7 @@ def _run_many_cached(
     return reducer.finalize(merged)
 
 
-def run_many(
+def _run_many_impl(
     scenario: Scenario,
     runs: int,
     base_seed: int = 0,
@@ -603,6 +604,64 @@ def run_many(
         if progress is not None:
             progress(index + 1, runs)
     return reducer.finalize(merged)
+
+
+def run_many(
+    scenario: Scenario,
+    runs: int,
+    base_seed: int = 0,
+    backend: str = DEFAULT_BACKEND,
+    workers: int | None = None,
+    reduce=None,
+    chunksize: int | None = None,
+    record_probabilities: bool | None = None,
+    shards: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    checkpoint=None,
+    resume_from=None,
+    array_module: str | None = None,
+    cache="off",
+):
+    # Telemetry shim around the real implementation: the experiment-level
+    # run_many_start/run_many_end events bracket the whole grid (pool,
+    # cache and serial paths alike) with a single pair of emit points.
+    telemetry = get_telemetry()
+    if telemetry is not None:
+        telemetry.event(
+            "run_many_start",
+            runs=runs,
+            backend=backend,
+            scenario=getattr(scenario, "name", None),
+            workers=workers,
+            shards=shards,
+        )
+        started = time.perf_counter()
+    result = _run_many_impl(
+        scenario,
+        runs,
+        base_seed=base_seed,
+        backend=backend,
+        workers=workers,
+        reduce=reduce,
+        chunksize=chunksize,
+        record_probabilities=record_probabilities,
+        shards=shards,
+        progress=progress,
+        checkpoint=checkpoint,
+        resume_from=resume_from,
+        array_module=array_module,
+        cache=cache,
+    )
+    if telemetry is not None:
+        telemetry.event(
+            "run_many_end",
+            runs=runs,
+            seconds=round(time.perf_counter() - started, 6),
+        )
+    return result
+
+
+run_many.__doc__ = _run_many_impl.__doc__
 
 
 def run_policies(

@@ -33,6 +33,7 @@ of blocking forever on a dead peer.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
@@ -40,6 +41,7 @@ from repro.sim.sharded.faults import (
     DEFAULT_BARRIER_TIMEOUT_S,
     BusTimeoutError,
 )
+from repro.telemetry import Histogram, get_telemetry, telemetry_enabled
 
 #: Backwards-compatible alias (pre-supervision name for the default bound).
 BARRIER_TIMEOUT_S = DEFAULT_BARRIER_TIMEOUT_S
@@ -62,6 +64,10 @@ class SerialBus:
 
     def checkpoint_sync(self, slot: int) -> None:
         """Commit fence: trivially satisfied with a single driver."""
+
+    def wait_stats(self) -> dict | None:
+        """No barriers, no waits: a single driver never blocks."""
+        return None
 
 
 class SharedMemoryBus:
@@ -89,6 +95,12 @@ class SharedMemoryBus:
         self.barrier = barrier
         self.timeout_s = timeout_s
         self.progress = progress_view  # (workers, 2) int64: last (slot, phase)
+        #: Barrier-wait histogram, live only under telemetry: the extra cost
+        #: per wait is two ``perf_counter`` calls and one bisect, but the
+        #: disabled path must stay a single ``is None`` check.
+        self.wait_hist: Histogram | None = (
+            Histogram() if telemetry_enabled() else None
+        )
 
     # ------------------------------------------------------------- barriers
 
@@ -97,10 +109,39 @@ class SharedMemoryBus:
         if self.progress is not None:
             self.progress[self.worker_index, 0] = slot
             self.progress[self.worker_index, 1] = phase
+        hist = self.wait_hist
         try:
-            self.barrier.wait(self.timeout_s)
+            if hist is None:
+                self.barrier.wait(self.timeout_s)
+            else:
+                waited = time.perf_counter()
+                self.barrier.wait(self.timeout_s)
+                hist.observe(time.perf_counter() - waited)
         except threading.BrokenBarrierError:
-            raise BusTimeoutError(*self._diagnose(slot, phase)) from None
+            error = BusTimeoutError(*self._diagnose(slot, phase))
+            telemetry = get_telemetry()
+            if telemetry is not None:
+                telemetry.event(
+                    "barrier_timeout",
+                    slot=slot,
+                    phase=PHASE_NAMES[phase],
+                    arrived=error.arrived,
+                    missing=error.missing,
+                    worker=self.worker_index,
+                )
+            raise error from None
+
+    def wait_stats(self) -> dict | None:
+        """Snapshot for a ``barrier_waits`` event, or ``None`` when disabled."""
+        hist = self.wait_hist
+        if hist is None or hist.count == 0:
+            return None
+        payload = hist.payload()
+        return {
+            "waits": payload["count"],
+            "seconds": payload["total"],
+            "histogram": payload,
+        }
 
     def _diagnose(self, slot: int, phase: int) -> tuple[str, int, list, list]:
         """Which workers reached this fence, and where the rest were seen."""

@@ -363,6 +363,16 @@ def commit_manifest(
         json.dumps(manifest, indent=2, sort_keys=True).encode(),
     )
     _fsync_dir(directory)
+    from repro.telemetry import get_telemetry  # local: keep pickling light
+
+    telemetry = get_telemetry()
+    if telemetry is not None:
+        telemetry.event(
+            "checkpoint_commit",
+            slot=slot,
+            shards=shards,
+            bytes=sum((directory / name).stat().st_size for name in files),
+        )
     prune_checkpoints(config)
     return directory
 

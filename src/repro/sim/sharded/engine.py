@@ -215,6 +215,10 @@ class ShardEngine:
         #: to carry a partially consumed uniform buffer.
         self.draw_barrier_every: int | None = None
         self._event_slot_list = sorted(self.topology.events)
+        #: Why draw windows ended (reason -> count), for telemetry's
+        #: ``fused_windows`` events.  Always-on: one dict update per window
+        #: (not per slot) is noise next to the window's array work.
+        self.window_truncations: dict[str, int] = {}
 
     # ------------------------------------------------------- checkpointing
     #
@@ -306,6 +310,7 @@ class ShardEngine:
         self.__dict__.setdefault(
             "_event_slot_list", sorted(self.topology.events)
         )
+        self.__dict__.setdefault("window_truncations", {})
         recorder = self.__dict__.get("recorder")
         if isinstance(recorder, _RecorderStub):
             recorder = SlotRecorder(
@@ -400,15 +405,25 @@ class ShardEngine:
         half-consumed buffers) and by the draw-buffer memory budget.
         """
         span = self.num_slots - slot + 1
+        reason = "horizon"
         events = self._event_slot_list
         pos = bisect_right(events, slot)
-        if pos < len(events):
-            span = min(span, events[pos] - slot)
+        if pos < len(events) and events[pos] - slot < span:
+            span = events[pos] - slot
+            reason = "topology_event"
         every = self.draw_barrier_every
         if every:
             barrier = ((slot + every - 1) // every) * every
-            span = min(span, barrier - slot + 1)
-        return max(1, min(span, _DRAW_BUDGET // max(size, 1)))
+            if barrier - slot + 1 < span:
+                span = barrier - slot + 1
+                reason = "checkpoint_barrier"
+        budget = _DRAW_BUDGET // max(size, 1)
+        if budget < span:
+            span = budget
+            reason = "draw_budget"
+        truncations = self.window_truncations
+        truncations[reason] = truncations.get(reason, 0) + 1
+        return max(1, span)
 
     def begin(self, slot: int) -> np.ndarray:
         """Phase 1: selection.  Returns local per-network occupancy counts."""

@@ -90,12 +90,14 @@ from repro.sim.sharded.faults import (
     ShardFailureError,
     SupervisionConfig,
     WorkerCrashError,
+    note_injected_fault,
 )
 from repro.sim.sharded.plan import (
     HomogeneousPopulation,
     ShardPlan,
     shard_boundaries,
 )
+from repro.telemetry import get_telemetry, set_proc_label
 
 logger = logging.getLogger("repro.sim.sharded")
 
@@ -143,6 +145,14 @@ def _maybe_inject_kill(
     fault = plan.kill_at(worker_index, slot, params.attempt, point)
     if fault is None:
         return
+    note_injected_fault(
+        "kill_worker",
+        worker_index,
+        slot,
+        point=point,
+        attempt=params.attempt,
+        hard=fault.hard and allow_hard_exit,
+    )
     if fault.hard and allow_hard_exit:
         # Simulated OOM-kill/preemption: die without reporting, cleanup or
         # barrier abort — peers must discover it via the barrier timeout,
@@ -247,6 +257,18 @@ def _run_group(
     fault_plan = params.fault_plan
     group_devices = sum(len(engine.device_ids) for engine in engines)
     prof = profile_run(f"sharded-worker{worker_index}")
+    tele = get_telemetry()
+    if tele is not None:
+        tele.event(
+            "worker_start",
+            worker=worker_index,
+            shards=len(engines),
+            start_slot=start_slot,
+            devices=group_devices,
+            attempt=params.attempt,
+        )
+        slot_gauge = tele.gauge(f"worker{worker_index}.slot")
+        rate_gauge = tele.gauge(f"worker{worker_index}.device_slots_per_second")
     started = time.monotonic()
     last_beat = started
 
@@ -264,6 +286,9 @@ def _run_group(
         if fault_plan is not None:
             stall = fault_plan.delay_for(worker_index, slot, params.attempt)
             if stall:
+                note_injected_fault(
+                    "delay_exchange", worker_index, slot, seconds=stall
+                )
                 time.sleep(stall)
         counts = bus.reduce_counts(slot, local_counts)
         if prof is not None:
@@ -360,6 +385,7 @@ def _run_group(
             # the pickled reducer states describe the same instant.  When the
             # cadence lands exactly on a flush the recorder was just zeroed,
             # so the snapshot may elide its blocks entirely.
+            ckpt_started = time.monotonic()
             write_shard_states(
                 checkpoint,
                 slot,
@@ -381,24 +407,54 @@ def _run_group(
                 )
                 if fault_plan is not None:
                     for fault in fault_plan.corruptions_at(slot):
+                        note_injected_fault(
+                            "corrupt_checkpoint",
+                            worker_index,
+                            slot,
+                            shard=fault.shard,
+                        )
                         _garble_checkpoint_file(checkpoint, slot, fault.shard)
+            if tele is not None:
+                tele.event(
+                    "checkpoint_write",
+                    worker=worker_index,
+                    slot=slot,
+                    seconds=round(time.monotonic() - ckpt_started, 6),
+                )
             if prof is not None:
                 t = prof.add("checkpoint", t)
 
         _maybe_inject_kill(params, worker_index, slot, "end", allow_hard_exit)
 
-        if params.heartbeat_seconds is not None and log_heartbeat:
+        # Heartbeats: a telemetry-enabled run emits `progress` events (plus
+        # live gauges) instead of the old ad-hoc log line, which remains the
+        # fallback for log-only runs.
+        if params.heartbeat_seconds is not None and (
+            log_heartbeat or tele is not None
+        ):
             now = time.monotonic()
             if now - last_beat >= params.heartbeat_seconds:
                 elapsed = now - started
-                logger.info(
-                    "sharded run: slot %d/%d (%.0f%%), "
-                    "%.2e device-slots/s in this group",
-                    slot,
-                    num_slots,
-                    100.0 * slot / num_slots,
-                    group_devices * slot / max(elapsed, 1e-9),
-                )
+                rate = group_devices * slot / max(elapsed, 1e-9)
+                if tele is not None:
+                    slot_gauge.set(slot)
+                    rate_gauge.set(rate)
+                    tele.event(
+                        "progress",
+                        worker=worker_index,
+                        slot=slot,
+                        num_slots=num_slots,
+                        device_slots_per_second=round(rate, 1),
+                    )
+                elif log_heartbeat:
+                    logger.info(
+                        "sharded run: slot %d/%d (%.0f%%), "
+                        "%.2e device-slots/s in this group",
+                        slot,
+                        num_slots,
+                        100.0 * slot / num_slots,
+                        rate,
+                    )
                 last_beat = now
 
     for engine in engines:
@@ -410,6 +466,31 @@ def _run_group(
             scenario=engines[0].scenario.name,
             seed=params.seed_label,
             shards=len(engines),
+        )
+    if tele is not None:
+        waits = bus.wait_stats()
+        if waits is not None:
+            tele.event("barrier_waits", worker=worker_index, **waits)
+        truncations: dict[str, int] = {}
+        for engine in engines:
+            for reason, count in engine.window_truncations.items():
+                truncations[reason] = truncations.get(reason, 0) + count
+        if truncations:
+            tele.event(
+                "fused_windows",
+                tag=f"sharded-worker{worker_index}",
+                windows=sum(truncations.values()),
+                reasons=truncations,
+            )
+        elapsed = time.monotonic() - started
+        tele.event(
+            "worker_end",
+            worker=worker_index,
+            slots=num_slots,
+            seconds=round(elapsed, 6),
+            device_slots_per_second=round(
+                group_devices * num_slots / max(elapsed, 1e-9), 1
+            ),
         )
     if reducer is not None:
         return states
@@ -482,6 +563,7 @@ def _shard_worker(
     """Worker-process entry point: drive one contiguous group of shards."""
     import traceback
 
+    set_proc_label(f"shard-worker{worker_index}")
     try:
         counts_view = np.frombuffer(counts_array, dtype=np.int64).reshape(
             2, num_workers, params.num_networks
@@ -837,6 +919,18 @@ class ShardedSlotExecutor(SlotExecutor):
         ]
         workers = min(self.workers, plan.shards)
 
+        tele = get_telemetry()
+        run_started = time.monotonic()
+        if tele is not None:
+            tele.event(
+                "run_start",
+                tag="sharded",
+                devices=plan.num_devices,
+                slots=num_slots,
+                shards=plan.shards,
+                workers=workers,
+            )
+
         supervision = self.supervision
         attempts: list[dict] = []
         attempt = 0
@@ -858,12 +952,26 @@ class ShardedSlotExecutor(SlotExecutor):
             run_params = replace(params, attempt=attempt, resume=resume)
             try:
                 if workers <= 1:
-                    return self._attempt_serial(
+                    payloads = self._attempt_serial(
                         plan, run_params, seed_slices, reducer
                     )
-                return self._attempt_parallel(
-                    plan, run_params, seed_slices, reducer, workers
-                )
+                else:
+                    payloads = self._attempt_parallel(
+                        plan, run_params, seed_slices, reducer, workers
+                    )
+                if tele is not None:
+                    elapsed = time.monotonic() - run_started
+                    tele.event(
+                        "run_end",
+                        tag="sharded",
+                        seconds=round(elapsed, 6),
+                        device_slots_per_second=round(
+                            plan.num_devices * num_slots / max(elapsed, 1e-9),
+                            1,
+                        ),
+                        attempts=attempt + 1,
+                    )
+                return payloads
             except RECOVERABLE_FAILURES as exc:
                 record = {
                     "attempt": attempt,
@@ -878,12 +986,27 @@ class ShardedSlotExecutor(SlotExecutor):
                         if checkpoint is None
                         else f"restart budget ({supervision.max_restarts}) exhausted"
                     )
+                    if tele is not None:
+                        tele.event(
+                            "run_failed",
+                            tag="sharded",
+                            error=record["error"],
+                            attempts=attempt + 1,
+                        )
                     raise ShardFailureError(
                         f"sharded run failed after {attempt + 1} attempt(s); "
                         f"{reason}",
                         attempts,
                     ) from exc
                 backoff = supervision.backoff_s * (2**attempt)
+                if tele is not None:
+                    tele.event(
+                        "worker_restart",
+                        attempt=attempt,
+                        error=record["error"],
+                        backoff_s=round(backoff, 6),
+                        workers=record.get("workers"),
+                    )
                 logger.warning(
                     "sharded run attempt %d failed (%s); restarting from "
                     "last checkpoint in %.2fs",

@@ -42,6 +42,23 @@ from dataclasses import dataclass
 DEFAULT_BARRIER_TIMEOUT_S = 600.0
 
 
+def note_injected_fault(kind: str, worker: int, slot: int, **fields) -> None:
+    """Record a fired fault in the telemetry event log (when enabled).
+
+    Emitted *before* the fault takes effect: the per-event flush means a
+    hard-killed worker's ``fault_injected`` event survives its ``os._exit``,
+    which is what lets the monitor attribute the subsequent restart.  The
+    import is local so this module stays dependency-free for pickling.
+    """
+    from repro.telemetry import get_telemetry
+
+    telemetry = get_telemetry()
+    if telemetry is not None:
+        telemetry.event(
+            "fault_injected", kind=kind, worker=worker, slot=slot, **fields
+        )
+
+
 class InjectedFault(RuntimeError):
     """A :class:`KillWorker` fault fired (soft mode / serial driver)."""
 

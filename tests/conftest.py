@@ -27,6 +27,21 @@ def _interpreted_kernels(monkeypatch):
         monkeypatch.delenv(name, raising=False)
 
 
+@pytest.fixture(autouse=True)
+def _telemetry_off(monkeypatch):
+    """Keep telemetry disabled unless a test opts in explicitly.
+
+    An exported ``REPRO_TELEMETRY_DIR`` would make every test write event
+    streams (and flip ``profile_run`` live); the telemetry tests manage the
+    variable themselves via ``repro.telemetry.set_telemetry_dir``.
+    """
+    from repro.telemetry import TELEMETRY_DIR_ENV, set_telemetry_dir
+
+    monkeypatch.delenv(TELEMETRY_DIR_ENV, raising=False)
+    yield
+    set_telemetry_dir(None)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
